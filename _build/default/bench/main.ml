@@ -1,0 +1,146 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   (see DESIGN.md for the experiment index), plus a bechamel micro-benchmark
+   group covering the engine's operators.
+
+   Usage:
+     dune exec bench/main.exe                     # all experiments + micro
+     dune exec bench/main.exe -- fig2 table1      # selected experiments
+     dune exec bench/main.exe -- micro            # micro-benchmarks only
+     dune exec bench/main.exe -- --scale 1.0 all  # bigger database
+
+   The default scale factor is 0.3 so the complete suite finishes in
+   ~20 minutes on one core; every shape discussed in EXPERIMENTS.md is
+   stable from ~0.2 upward.
+*)
+
+module Runner = Rdb_harness.Runner
+module Experiments = Rdb_harness.Experiments
+
+(* ---- bechamel micro-benchmarks ---- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let catalog = Rdb_imdb.Imdb_gen.generate ~scale:0.1 () in
+  let session = Rdb_core.Session.create catalog in
+  Rdb_core.Session.analyze session;
+  let plan_of name mode =
+    let q = Rdb_imdb.Job_queries.find catalog name in
+    let prepared = Rdb_core.Session.prepare session q in
+    let plan, _, _ = Rdb_core.Session.plan prepared ~mode in
+    (q, prepared, plan)
+  in
+  let q6d, prep6d, plan6d = plan_of "6d" Rdb_card.Estimator.Default in
+  let _q33, prep33, _ = plan_of "33a" Rdb_card.Estimator.Default in
+  let graph33 =
+    Rdb_query.Join_graph.make (Rdb_core.Session.query prep33)
+  in
+  let title = Catalog.table_exn catalog "title" in
+  let years =
+    match Table.column title 3 with
+    | Column.Ints a -> a
+    | Column.Strs _ -> assert false
+  in
+  let exec_plan prepared plan () =
+    ignore (Rdb_core.Session.execute prepared plan)
+  in
+  [
+    Test.make ~name:"exec/q6d-default-plan"
+      (Staged.stage (exec_plan prep6d plan6d));
+    Test.make ~name:"optimizer/dpccp-17rel"
+      (Staged.stage (fun () ->
+           ignore (Rdb_plan.Search_space.build graph33)));
+    Test.make ~name:"optimizer/plan-q33a"
+      (Staged.stage (fun () ->
+           ignore
+             (Rdb_core.Session.plan prep33 ~mode:Rdb_card.Estimator.Default)));
+    Test.make ~name:"oracle/tree-card-q6d-full"
+      (Staged.stage (fun () ->
+           let oracle =
+             Rdb_card.Oracle.create catalog q6d
+           in
+           ignore
+             (Rdb_card.Oracle.true_card oracle
+                (Rdb_util.Relset.full (Rdb_query.Query.n_rels q6d)))));
+    Test.make ~name:"stats/analyze-title"
+      (Staged.stage (fun () -> ignore (Rdb_stats.Analyze.table title)));
+    Test.make ~name:"stats/histogram-years"
+      (Staged.stage (fun () ->
+           ignore (Rdb_stats.Histogram.build ~buckets:100 years)));
+    Test.make ~name:"storage/hash-index-title-id"
+      (Staged.stage (fun () -> ignore (Hash_index.build title ~col:0)));
+    Test.make ~name:"reopt/full-loop-q6d"
+      (Staged.stage (fun () ->
+           ignore
+             (Rdb_core.Reopt.run session
+                ~trigger:(Rdb_core.Trigger.create 32.0)
+                ~mode:Rdb_card.Estimator.Default q6d)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  print_endline "= micro-benchmarks (bechamel, ns/run via OLS) =";
+  let tests = Test.make_grouped ~name:"micro" (micro_tests ()) in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (e :: _) -> e
+        | Some [] | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      if ns >= 1_000_000.0 then
+        Printf.printf "  %-40s %12.3f ms/run\n" name (ns /. 1_000_000.0)
+      else Printf.printf "  %-40s %12.0f ns/run\n" name ns)
+    (List.sort compare !rows)
+
+(* ---- driver ---- *)
+
+let () =
+  let scale = ref 0.3 in
+  let seed = ref 42 in
+  let selected = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--scale" :: v :: rest ->
+      scale := float_of_string v;
+      parse rest
+    | "--seed" :: v :: rest ->
+      seed := int_of_string v;
+      parse rest
+    | name :: rest ->
+      selected := name :: !selected;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let selected =
+    match List.rev !selected with [] | [ "all" ] -> Experiments.names @ [ "micro" ] | l -> l
+  in
+  let lab = lazy (
+    Printf.printf "building lab: scale=%g seed=%d ...\n%!" !scale !seed;
+    let t0 = Unix.gettimeofday () in
+    let lab = Runner.create_lab ~seed:!seed ~scale:!scale () in
+    Printf.printf "lab ready in %.1fs (113 queries bound)\n\n%!"
+      (Unix.gettimeofday () -. t0);
+    lab)
+  in
+  List.iter
+    (fun name ->
+      let t0 = Unix.gettimeofday () in
+      (match name with
+       | "micro" -> run_micro ()
+       | "table3" -> print_endline (Experiments.table3 ())
+       | "skew" -> print_endline (Experiments.skew_example ())
+       | name -> print_endline (Experiments.run (Lazy.force lab) name));
+      Printf.printf "[%s done in %.1fs]\n\n%!" name
+        (Unix.gettimeofday () -. t0))
+    selected

@@ -1,0 +1,191 @@
+(* The reoptdb command-line interface.
+
+     reoptdb queries                    list the workload
+     reoptdb sql 16b                    print a query's SQL
+     reoptdb explain 6d [--mode ...]    plan + EXPLAIN with true cardinalities
+     reoptdb run 6d [--reopt 32]        execute, optionally with re-optimization
+     reoptdb experiment fig2 [...]      regenerate a table/figure of the paper
+*)
+
+open Cmdliner
+
+module Session = Rdb_core.Session
+module Estimator = Rdb_card.Estimator
+module Oracle = Rdb_card.Oracle
+module Executor = Rdb_exec.Executor
+module Reopt = Rdb_core.Reopt
+module Trigger = Rdb_core.Trigger
+
+let scale_arg =
+  Arg.(value & opt float 0.3 & info [ "scale" ] ~docv:"FACTOR"
+         ~doc:"Database scale factor (1.0 = default benchmark size).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Data generator seed.")
+
+let mode_arg =
+  let doc =
+    "Estimation mode: 'default', 'perfect' or 'perfect-N' (true \
+     cardinalities for joins of at most N relations)."
+  in
+  Arg.(value & opt string "default" & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let parse_mode s =
+  match String.lowercase_ascii s with
+  | "default" -> Ok `Default
+  | "perfect" -> Ok `Perfect_all
+  | s ->
+    (match String.index_opt s '-' with
+     | Some i when String.sub s 0 i = "perfect" ->
+       (try Ok (`Perfect (int_of_string (String.sub s (i + 1) (String.length s - i - 1))))
+        with Failure _ -> Error ("bad mode " ^ s))
+     | _ -> Error ("bad mode " ^ s))
+
+let make_session ~scale ~seed =
+  let catalog = Rdb_imdb.Imdb_gen.generate ~seed ~scale () in
+  let session = Session.create catalog in
+  Session.analyze session;
+  (catalog, session)
+
+let resolve_mode prepared = function
+  | `Default -> Estimator.Default
+  | `Perfect n ->
+    Oracle.ensure_up_to (Session.oracle prepared) n;
+    Estimator.Perfect n
+  | `Perfect_all ->
+    let q = Session.query prepared in
+    Oracle.ensure_up_to (Session.oracle prepared) (Rdb_query.Query.n_rels q);
+    Estimator.Perfect_all
+
+(* ---- queries ---- *)
+
+let cmd_queries =
+  let run () =
+    List.iter
+      (fun (name, sql) ->
+        let tables =
+          String.split_on_char ',' sql |> List.length
+        in
+        ignore tables;
+        Printf.printf "%s\n" name)
+      Rdb_imdb.Job_queries.sql;
+    0
+  in
+  Cmd.v (Cmd.info "queries" ~doc:"List the 113 workload queries.")
+    Term.(const run $ const ())
+
+(* ---- sql ---- *)
+
+let query_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY"
+         ~doc:"Workload query name, e.g. 6d or 16b.")
+
+let cmd_sql =
+  let run name =
+    match Rdb_imdb.Job_queries.sql_of name with
+    | Some sql -> print_endline sql; 0
+    | None -> Printf.eprintf "unknown query %s\n" name; 1
+  in
+  Cmd.v (Cmd.info "sql" ~doc:"Print a workload query's SQL text.")
+    Term.(const run $ query_pos)
+
+(* ---- explain ---- *)
+
+let cmd_explain =
+  let run name scale seed mode_str =
+    match parse_mode mode_str with
+    | Error e -> prerr_endline e; 1
+    | Ok mode ->
+      let catalog, session = make_session ~scale ~seed in
+      let q = Rdb_imdb.Job_queries.find catalog name in
+      let prepared = Session.prepare session q in
+      let mode = resolve_mode prepared mode in
+      let plan, pstats, _ = Session.plan prepared ~mode in
+      Printf.printf "planning: %d csg-cmp pairs, %.2fms\n\n"
+        pstats.Rdb_plan.Optimizer.pairs_considered
+        pstats.Rdb_plan.Optimizer.plan_ms;
+      let oracle = Session.oracle prepared in
+      print_string
+        (Rdb_plan.Explain.render
+           ~actuals:(fun set -> Some (Oracle.true_card oracle set))
+           q plan);
+      0
+  in
+  Cmd.v (Cmd.info "explain" ~doc:"Plan a query and print EXPLAIN with true cardinalities.")
+    Term.(const run $ query_pos $ scale_arg $ seed_arg $ mode_arg)
+
+(* ---- run ---- *)
+
+let reopt_arg =
+  Arg.(value & opt (some float) None & info [ "reopt" ] ~docv:"THRESHOLD"
+         ~doc:"Enable re-optimization at the given Q-error threshold.")
+
+let cmd_run =
+  let run name scale seed mode_str reopt =
+    match parse_mode mode_str with
+    | Error e -> prerr_endline e; 1
+    | Ok mode ->
+      let catalog, session = make_session ~scale ~seed in
+      let q = Rdb_imdb.Job_queries.find catalog name in
+      let prepared = Session.prepare session q in
+      let mode = resolve_mode prepared mode in
+      (match reopt with
+       | None ->
+         let plan, pstats, _ = Session.plan prepared ~mode in
+         let res = Session.execute prepared plan in
+         Printf.printf
+           "plan %.2fms | exec %.2fms | %d rows into aggregates | work %d\n"
+           pstats.Rdb_plan.Optimizer.plan_ms res.Executor.elapsed_ms
+           res.Executor.out_rows res.Executor.work;
+         List.iter (fun v -> print_endline ("  " ^ Value.to_string v)) res.Executor.aggs
+       | Some threshold ->
+         let outcome =
+           Reopt.run ~initial:prepared session
+             ~trigger:(Trigger.create threshold) ~mode q
+         in
+         Printf.printf
+           "reopt steps %d | plan %.2fms | exec %.2fms (materializations included)\n"
+           (List.length outcome.Reopt.steps)
+           outcome.Reopt.total_plan_ms outcome.Reopt.total_exec_ms;
+         List.iter
+           (fun (s : Reopt.step) ->
+             Printf.printf "  step: {%s} -> %s (%d rows, q-error %.0f)\n"
+               (String.concat "," s.Reopt.materialized_aliases)
+               s.Reopt.temp_name s.Reopt.temp_rows s.Reopt.trigger_q_error)
+           outcome.Reopt.steps;
+         List.iter
+           (fun v -> print_endline ("  " ^ Value.to_string v))
+           outcome.Reopt.final_exec.Executor.aggs);
+      0
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a query, optionally with re-optimization.")
+    Term.(const run $ query_pos $ scale_arg $ seed_arg $ mode_arg $ reopt_arg)
+
+(* ---- experiment ---- *)
+
+let cmd_experiment =
+  let exp_pos =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT"
+           ~doc:(Printf.sprintf "One of: %s."
+                   (String.concat ", " Rdb_harness.Experiments.names)))
+  in
+  let run name scale seed =
+    let lab = Rdb_harness.Runner.create_lab ~seed ~scale () in
+    (try
+       print_endline (Rdb_harness.Experiments.run lab name);
+       0
+     with Invalid_argument e -> prerr_endline e; 1)
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables/figures.")
+    Term.(const run $ exp_pos $ scale_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "reoptdb"
+      ~doc:
+        "A from-scratch reproduction of 'How I Learned to Stop Worrying and \
+         Love Re-optimization' (ICDE 2019): query engine, instrumented \
+         optimizer, and mid-query re-optimization."
+  in
+  exit (Cmd.eval' (Cmd.group info [ cmd_queries; cmd_sql; cmd_explain; cmd_run; cmd_experiment ]))

@@ -1,0 +1,1 @@
+examples/join_graphs.ml: List Rdb_imdb Rdb_query

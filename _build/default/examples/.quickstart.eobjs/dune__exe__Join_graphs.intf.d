@@ -1,0 +1,1 @@
+examples/join_graphs.mli:

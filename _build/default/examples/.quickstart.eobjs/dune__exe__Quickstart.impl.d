@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Rdb_card Rdb_core Rdb_exec Rdb_imdb Rdb_plan Rdb_sql Value

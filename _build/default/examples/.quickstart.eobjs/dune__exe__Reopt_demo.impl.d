@@ -1,0 +1,1 @@
+examples/reopt_demo.ml: Catalog List Option Printf Rdb_card Rdb_core Rdb_exec Rdb_imdb Rdb_plan Rdb_sql Rdb_stats String Value

@@ -1,0 +1,1 @@
+examples/reopt_demo.mli:

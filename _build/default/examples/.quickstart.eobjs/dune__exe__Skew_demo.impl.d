@@ -1,0 +1,1 @@
+examples/skew_demo.ml: Array Catalog Column Float Printf Rdb_card Rdb_core Rdb_sql Rdb_util Schema Table Value

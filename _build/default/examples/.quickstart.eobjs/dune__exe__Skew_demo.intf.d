@@ -1,0 +1,1 @@
+examples/skew_demo.mli:

@@ -1,0 +1,13 @@
+(* Emit the join graphs of the deep-dive queries (the paper's Figures 3
+   and 4) as GraphViz DOT, ready for `dot -Tpng`.
+
+   Run with:  dune exec examples/join_graphs.exe > graphs.dot *)
+
+let () =
+  let catalog = Rdb_imdb.Imdb_gen.generate ~scale:0.01 () in
+  List.iter
+    (fun name ->
+      let q = Rdb_imdb.Job_queries.find catalog name in
+      print_endline ("// " ^ name);
+      print_endline (Rdb_query.Join_graph.to_dot q))
+    [ "6d"; "18a"; "16b"; "25c"; "30a"; "33a" ]

@@ -1,0 +1,60 @@
+(* Quickstart: generate the synthetic IMDB database, run a SQL query
+   through the whole stack — parse, bind, optimize, EXPLAIN, execute —
+   and compare the optimizer's estimates with the truth.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Session = Rdb_core.Session
+module Estimator = Rdb_card.Estimator
+module Oracle = Rdb_card.Oracle
+module Executor = Rdb_exec.Executor
+
+let () =
+  (* 1. A database: 15 tables with planted skew and correlations, plus
+     hash indexes on every id/foreign-key column. *)
+  let catalog = Rdb_imdb.Imdb_gen.generate ~seed:42 ~scale:0.2 () in
+  let session = Session.create catalog in
+
+  (* 2. ANALYZE: equi-depth histograms + most-common-value lists. *)
+  Session.analyze session;
+
+  (* 3. Any select-project-join SQL in the supported dialect works. *)
+  let sql =
+    "SELECT MIN(t.title), COUNT(*)\n\
+     FROM title AS t, movie_keyword AS mk, keyword AS k, kind_type AS kt\n\
+     WHERE mk.movie_id = t.id AND mk.keyword_id = k.id AND t.kind_id = kt.id\n\
+    \  AND k.keyword = 'kw_0' AND kt.kind = 'movie';"
+  in
+  print_endline "-- query --";
+  print_endline sql;
+  let query =
+    match Rdb_sql.Binder.bind catalog ~name:"quickstart" (Rdb_sql.Parser.parse sql) with
+    | Ok q -> q
+    | Error msg -> failwith msg
+  in
+
+  (* 4. Optimize with the PostgreSQL-style estimator and explain. *)
+  let prepared = Session.prepare session query in
+  let plan, pstats, _estimator = Session.plan prepared ~mode:Estimator.Default in
+  Printf.printf "\n-- plan (%d csg-cmp pairs considered, %.2fms) --\n"
+    pstats.Rdb_plan.Optimizer.pairs_considered pstats.Rdb_plan.Optimizer.plan_ms;
+  let oracle = Session.oracle prepared in
+  let actuals set = Some (Oracle.true_card oracle set) in
+  print_string (Rdb_plan.Explain.render ~actuals query plan);
+
+  (* 5. Execute and report. *)
+  let result = Session.execute prepared plan in
+  Printf.printf "\n-- result (%d rows into aggregates, %.2fms) --\n"
+    result.Executor.out_rows result.Executor.elapsed_ms;
+  List.iter
+    (fun v -> print_endline ("  " ^ Value.to_string v))
+    result.Executor.aggs;
+
+  (* 6. The point of the paper: the estimate for the skew-hit join is off
+     by orders of magnitude even though every input statistic is fresh. *)
+  print_endline "\n-- estimate vs truth per executed node --";
+  List.iter
+    (fun (o : Executor.node_obs) ->
+      Printf.printf "  %-18s est %10.0f   actual %10d\n" o.Executor.obs_label
+        o.Executor.obs_est o.Executor.obs_actual)
+    result.Executor.observations

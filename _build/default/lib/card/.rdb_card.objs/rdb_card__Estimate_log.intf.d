@@ -1,0 +1,1 @@
+lib/card/estimate_log.mli:

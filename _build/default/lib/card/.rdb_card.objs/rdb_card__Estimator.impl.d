@@ -1,0 +1,1 @@
+lib/card/estimator.ml: Array Catalog Estimate_log Float Hashtbl Join_sample Join_sel List Oracle Rdb_query Rdb_stats Rdb_util Selectivity Table Value

@@ -1,0 +1,1 @@
+lib/card/estimator.mli: Catalog Estimate_log Hashtbl Join_sample Oracle Rdb_query Rdb_stats Rdb_util

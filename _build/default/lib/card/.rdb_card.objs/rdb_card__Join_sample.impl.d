@@ -1,0 +1,1 @@
+lib/card/join_sample.ml: Array Catalog Column Fun Hash_index Hashtbl List Rdb_query Rdb_util Table

@@ -1,0 +1,1 @@
+lib/card/join_sample.mli: Catalog Rdb_query Rdb_util

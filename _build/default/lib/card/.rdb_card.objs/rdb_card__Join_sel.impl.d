@@ -1,0 +1,1 @@
+lib/card/join_sel.ml: Float Hashtbl Int List Rdb_stats Rdb_util

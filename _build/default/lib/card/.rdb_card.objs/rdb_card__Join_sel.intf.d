@@ -1,0 +1,1 @@
+lib/card/join_sel.mli: Rdb_stats

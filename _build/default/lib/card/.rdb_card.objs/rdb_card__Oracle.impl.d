@@ -1,0 +1,1 @@
+lib/card/oracle.ml: Array Catalog Column Float Fun Hashtbl Int List Option Rdb_query Rdb_util Table

@@ -1,0 +1,1 @@
+lib/card/oracle.mli: Catalog Rdb_query Rdb_util

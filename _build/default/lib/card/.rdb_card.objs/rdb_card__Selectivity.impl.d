@@ -1,0 +1,1 @@
+lib/card/selectivity.ml: Float List Rdb_query Rdb_stats Rdb_util Value

@@ -1,0 +1,1 @@
+lib/card/selectivity.mli: Rdb_query Rdb_stats

@@ -1,0 +1,23 @@
+let max_size = 62
+
+type t = int array
+
+let create () = Array.make (max_size + 1) 0
+
+let record t ~size =
+  assert (size >= 1 && size <= max_size);
+  t.(size) <- t.(size) + 1
+
+let count t ~size = t.(size)
+
+let counts t =
+  let acc = ref [] in
+  for size = max_size downto 1 do
+    if t.(size) > 0 then acc := (size, t.(size)) :: !acc
+  done;
+  !acc
+
+let total t = Array.fold_left ( + ) 0 t
+
+let add_into t ~into =
+  Array.iteri (fun i c -> into.(i) <- into.(i) + c) t

@@ -1,0 +1,20 @@
+(** Counts the cardinality estimates an optimizer run asks for, bucketed by
+    the number of relations joined. Reproduces Table I: the sheer volume of
+    multi-way join estimates is the paper's argument for why "just fix the
+    estimator" is a steep road. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> size:int -> unit
+
+val count : t -> size:int -> int
+
+val counts : t -> (int * int) list
+(** [(size, count)] pairs for sizes with a non-zero count, ascending. *)
+
+val total : t -> int
+
+val add_into : t -> into:t -> unit
+(** Accumulate one log into another (per-query logs into a workload log). *)

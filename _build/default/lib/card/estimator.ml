@@ -1,0 +1,207 @@
+module Relset = Rdb_util.Relset
+module Db_stats = Rdb_stats.Db_stats
+module Query = Rdb_query.Query
+module Join_graph = Rdb_query.Join_graph
+
+type mode =
+  | Default
+  | Perfect of int
+  | Perfect_all
+  | Overrides of (Relset.t, float) Hashtbl.t
+  | Sampling of Join_sample.t
+
+type t = {
+  mode : mode;
+  q : Query.t;
+  graph : Join_graph.t;
+  catalog : Catalog.t;
+  stats : Db_stats.t;
+  oracle : Oracle.t option;
+  log : Estimate_log.t option;
+  memo : (Relset.t, float) Hashtbl.t;
+  implied : (Query.colref, Value.t) Hashtbl.t;
+      (* equality constants propagated through join equivalence classes,
+         as PostgreSQL's equivalence-class machinery does: a predicate
+         [c.id = 1] restricts every column joined (transitively) to c.id *)
+}
+
+(* Propagate [col = const] predicates to every column reachable through
+   equi-join edges. The join clauses inside such a class become implied
+   (selectivity 1): both sides are already restricted to the constant. *)
+let compute_implied (q : Query.t) =
+  let parent : (Query.colref, Query.colref) Hashtbl.t = Hashtbl.create 16 in
+  let rec find cr =
+    match Hashtbl.find_opt parent cr with
+    | None -> cr
+    | Some p ->
+      let root = find p in
+      if root <> p then Hashtbl.replace parent cr root;
+      root
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then
+      if ra < rb then Hashtbl.replace parent rb ra else Hashtbl.replace parent ra rb
+  in
+  List.iter (fun { Query.l; r } -> union l r) q.Query.edges;
+  let const_of_root : (Query.colref, Value.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ({ Query.target; p } : Query.pred) ->
+      match p with
+      | Rdb_query.Predicate.Cmp (Rdb_query.Predicate.Eq, (Value.Int _ as v)) ->
+        Hashtbl.replace const_of_root (find target) v
+      | _ -> ())
+    q.Query.preds;
+  let implied = Hashtbl.create 16 in
+  let members = Hashtbl.create 16 in
+  List.iter
+    (fun { Query.l; r } ->
+      Hashtbl.replace members l ();
+      Hashtbl.replace members r ())
+    q.Query.edges;
+  Hashtbl.iter
+    (fun cr () ->
+      match Hashtbl.find_opt const_of_root (find cr) with
+      | Some v -> Hashtbl.replace implied cr v
+      | None -> ())
+    members;
+  implied
+
+let create ?log ~mode ~catalog ~stats ?oracle q =
+  (match mode, oracle with
+   | (Perfect _ | Perfect_all), None ->
+     invalid_arg "Estimator.create: perfect modes require an oracle"
+   | _ -> ());
+  {
+    mode;
+    q;
+    graph = Join_graph.make q;
+    catalog;
+    stats;
+    oracle;
+    log;
+    memo = Hashtbl.create 64;
+    implied = compute_implied q;
+  }
+
+let mode t = t.mode
+
+let col_stats t rel col =
+  let table = Catalog.table_exn t.catalog t.q.Query.rels.(rel).Query.table in
+  Db_stats.col_or_trivial t.stats table col
+
+let implied_preds t rel =
+  let explicit = Query.preds_of_cols t.q rel in
+  Hashtbl.fold
+    (fun (cr : Query.colref) v acc ->
+      if cr.Query.rel <> rel then acc
+      else begin
+        let p = Rdb_query.Predicate.Cmp (Rdb_query.Predicate.Eq, v) in
+        (* skip when the query already states this exact restriction *)
+        if List.exists (fun (col, p') -> col = cr.Query.col && p' = p) explicit
+        then acc
+        else (cr.Query.col, p) :: acc
+      end)
+    t.implied []
+
+(* Combined selectivity of a relation's predicates. Pairs covered by
+   column-group statistics (CORDS / CREATE STATISTICS) use the joint MCV
+   distribution; everything else falls back to the independence product. *)
+let combined_selectivity t rel preds =
+  let table_name = t.q.Query.rels.(rel).Query.table in
+  let single (col, p) = Selectivity.of_pred (col_stats t rel col) p in
+  let rec go acc = function
+    | [] -> acc
+    | (col, p) :: rest ->
+      let grouped =
+        List.find_map
+          (fun (col', p') ->
+            match
+              Rdb_stats.Db_stats.group t.stats ~table:table_name
+                ~cols:(col, col')
+            with
+            | Some g -> Some (col', p', g)
+            | None -> None)
+          rest
+      in
+      (match grouped with
+       | Some (col', p', g) ->
+         let rest' = List.filter (fun (c, _) -> c <> col') rest in
+         let independent = single (col, p) *. single (col', p') in
+         let lo_pred, hi_pred = if col <= col' then (p, p') else (p', p) in
+         let sel =
+           Rdb_stats.Group_stats.joint_selectivity g
+             (Rdb_query.Predicate.eval lo_pred)
+             (Rdb_query.Predicate.eval hi_pred)
+             ~independent
+         in
+         go (acc *. sel) rest'
+       | None -> go (acc *. single (col, p)) rest)
+  in
+  go 1.0 preds
+
+let base_default t rel =
+  let stats_preds = Query.preds_of_cols t.q rel @ implied_preds t rel in
+  let table = Catalog.table_exn t.catalog t.q.Query.rels.(rel).Query.table in
+  let rows = float_of_int (Table.nrows table) in
+  Float.max 1.0 (rows *. combined_selectivity t rel stats_preds)
+
+let edge_selectivity t { Query.l; r } =
+  Join_sel.eq_join
+    (col_stats t l.Query.rel l.Query.col)
+    (col_stats t r.Query.rel r.Query.col)
+
+let oracle_exn t =
+  match t.oracle with
+  | Some o -> o
+  | None -> assert false
+
+(* The default composition: peel the canonical removable relation and apply
+   independent per-edge selectivities, so perfect sub-estimates propagate
+   upward exactly as the paper's perfect-(n) does. *)
+let rec card t s =
+  match Hashtbl.find_opt t.memo s with
+  | Some v -> v
+  | None ->
+    let v = compute t s in
+    let v = Float.max 1.0 v in
+    Hashtbl.replace t.memo s v;
+    (match t.log with
+     | Some log -> Estimate_log.record log ~size:(Relset.cardinal s)
+     | None -> ());
+    v
+
+and compute t s =
+  let size = Relset.cardinal s in
+  match t.mode with
+  | Perfect n when size <= n -> float_of_int (Oracle.true_card (oracle_exn t) s)
+  | Perfect_all -> float_of_int (Oracle.true_card (oracle_exn t) s)
+  | Overrides overrides when Hashtbl.mem overrides s -> Hashtbl.find overrides s
+  | Sampling js -> Float.max 1.0 (Join_sample.card js s)
+  | Default | Perfect _ | Overrides _ -> compute_default t s
+
+and compute_default t s =
+  if Relset.cardinal s = 1 then base_default t (Relset.min_elt s)
+  else begin
+    let r = Join_graph.removable t.graph s in
+    let rest = Relset.remove r s in
+    let connecting = Query.edges_between t.q rest (Relset.singleton r) in
+    let sel =
+      List.fold_left
+        (fun acc e ->
+          (* A join clause whose equivalence class is pinned to a constant
+             is implied by the base restrictions on both sides. *)
+          if Hashtbl.mem t.implied e.Query.l then acc
+          else acc *. edge_selectivity t e)
+        1.0 connecting
+    in
+    card t rest *. card t (Relset.singleton r) *. sel
+  end
+
+let base_card t rel = card t (Relset.singleton rel)
+
+let pred_selectivity t ~rel ~col p = Selectivity.of_pred (col_stats t rel col) p
+
+let table_rows t rel =
+  let table = Catalog.table_exn t.catalog t.q.Query.rels.(rel).Query.table in
+  float_of_int (Table.nrows table)

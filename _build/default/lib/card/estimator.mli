@@ -1,0 +1,60 @@
+(** The instrumented cardinality estimator — the paper's modified
+    PostgreSQL. One estimator serves one query; estimates are cached per
+    relation subset, so each subset is estimated exactly once regardless of
+    how many plans the enumerator considers (as in PostgreSQL's
+    [PlannerInfo]).
+
+    Modes:
+    - [Default]: statistics + uniformity/independence assumptions.
+    - [Perfect n]: true cardinalities for subsets of at most [n] relations
+      (the paper's perfect-(n)); larger subsets use the default composition
+      over the perfect inputs.
+    - [Perfect_all]: perfect-(17) in the paper — every estimate true.
+    - [Overrides]: selected subsets pinned to given values, the LEO-style
+      selective-correction experiment of §IV-E.
+    - [Sampling]: index-based join sampling (§II-C's practical contender):
+      estimates come from pushing a bounded row sample through the real
+      joins. *)
+
+module Relset = Rdb_util.Relset
+module Db_stats := Rdb_stats.Db_stats
+module Query := Rdb_query.Query
+
+type mode =
+  | Default
+  | Perfect of int
+  | Perfect_all
+  | Overrides of (Relset.t, float) Hashtbl.t
+  | Sampling of Join_sample.t
+
+type t
+
+val create :
+  ?log:Estimate_log.t ->
+  mode:mode ->
+  catalog:Catalog.t ->
+  stats:Db_stats.t ->
+  ?oracle:Oracle.t ->
+  Query.t ->
+  t
+(** [oracle] is required by [Perfect _] and [Perfect_all]; raises
+    [Invalid_argument] when missing. *)
+
+val mode : t -> mode
+
+val card : t -> Relset.t -> float
+(** Estimated cardinality of a connected relation subset; always >= 1. *)
+
+val base_card : t -> int -> float
+(** Estimated cardinality of one relation after its predicates. *)
+
+val edge_selectivity : t -> Query.edge -> float
+(** Estimated selectivity of a single join edge (from base-column
+    statistics). *)
+
+val pred_selectivity : t -> rel:int -> col:int -> Rdb_query.Predicate.t -> float
+(** Estimated selectivity of a single predicate; the optimizer uses this to
+    size equality index scans. *)
+
+val table_rows : t -> int -> float
+(** Physical row count of a relation's table (before predicates). *)

@@ -1,0 +1,66 @@
+module Col_stats = Rdb_stats.Col_stats
+module Mcv = Rdb_stats.Mcv
+
+let clamp = Rdb_util.Stat_utils.clamp ~lo:0.0 ~hi:1.0
+
+let uniform ~nd1 ~nd2 = 1.0 /. float_of_int (Int.max 1 (Int.max nd1 nd2))
+
+(* Port of PostgreSQL's eqjoinsel_inner. [matchprodfreq] covers MCVs present
+   on both sides; unmatched MCV mass and the non-MCV remainder are assumed
+   uniformly spread over the other side's unseen distinct values. *)
+let eq_join (s1 : Col_stats.t) (s2 : Col_stats.t) =
+  let mcv1 = Mcv.entries s1.mcv and mcv2 = Mcv.entries s2.mcv in
+  match mcv1, mcv2 with
+  | [], _ | _, [] ->
+    clamp
+      (uniform ~nd1:s1.n_distinct ~nd2:s2.n_distinct
+       *. (1.0 -. s1.null_frac) *. (1.0 -. s2.null_frac))
+  | _ ->
+    let tbl2 = Hashtbl.create (List.length mcv2) in
+    List.iter (fun (v, f) -> Hashtbl.replace tbl2 v f) mcv2;
+    let matchprodfreq = ref 0.0 in
+    let matchfreq1 = ref 0.0 and matchfreq2 = ref 0.0 in
+    let nmatches = ref 0 in
+    List.iter
+      (fun (v, f1) ->
+        match Hashtbl.find_opt tbl2 v with
+        | Some f2 ->
+          matchprodfreq := !matchprodfreq +. (f1 *. f2);
+          matchfreq1 := !matchfreq1 +. f1;
+          matchfreq2 := !matchfreq2 +. f2;
+          incr nmatches
+        | None -> ())
+      mcv1;
+    let nvalues1 = List.length mcv1 and nvalues2 = List.length mcv2 in
+    let unmatchfreq1 = Float.max 0.0 (Mcv.total_fraction s1.mcv -. !matchfreq1) in
+    let unmatchfreq2 = Float.max 0.0 (Mcv.total_fraction s2.mcv -. !matchfreq2) in
+    let otherfreq1 =
+      Float.max 0.0 (1.0 -. s1.null_frac -. Mcv.total_fraction s1.mcv)
+    in
+    let otherfreq2 =
+      Float.max 0.0 (1.0 -. s2.null_frac -. Mcv.total_fraction s2.mcv)
+    in
+    let nd1 = s1.n_distinct and nd2 = s2.n_distinct in
+    let totalsel1 =
+      let sel = ref !matchprodfreq in
+      if nd2 > nvalues2 then
+        sel := !sel +. (unmatchfreq1 *. otherfreq2 /. float_of_int (nd2 - nvalues2));
+      if nd2 > !nmatches then
+        sel :=
+          !sel
+          +. (otherfreq1 *. (otherfreq2 +. unmatchfreq2)
+              /. float_of_int (nd2 - !nmatches));
+      !sel
+    in
+    let totalsel2 =
+      let sel = ref !matchprodfreq in
+      if nd1 > nvalues1 then
+        sel := !sel +. (unmatchfreq2 *. otherfreq1 /. float_of_int (nd1 - nvalues1));
+      if nd1 > !nmatches then
+        sel :=
+          !sel
+          +. (otherfreq2 *. (otherfreq1 +. unmatchfreq1)
+              /. float_of_int (nd1 - !nmatches));
+      !sel
+    in
+    clamp (Float.min totalsel1 totalsel2)

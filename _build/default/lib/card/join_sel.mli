@@ -1,0 +1,16 @@
+(** Equi-join selectivity, following PostgreSQL's [eqjoinsel_inner]: when
+    both sides have MCV lists, match them against each other; the remaining
+    mass joins under the uniformity assumption [1 / max(nd1, nd2)].
+
+    MCV matching is why PostgreSQL predicts skewed joins correctly when the
+    predicate is on the join column itself, yet fails when the skewed value
+    is selected through another table — the paper's Nasdaq example
+    (§IV-C). *)
+
+module Col_stats := Rdb_stats.Col_stats
+
+val eq_join : Col_stats.t -> Col_stats.t -> float
+(** Selectivity of [l = r] given the two join columns' statistics. *)
+
+val uniform : nd1:int -> nd2:int -> float
+(** The fallback [1 / max(nd1, nd2)]. *)

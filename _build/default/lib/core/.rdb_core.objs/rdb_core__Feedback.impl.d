@@ -1,0 +1,1 @@
+lib/core/feedback.ml: Array Hashtbl List Printf Rdb_exec Rdb_query Rdb_util String

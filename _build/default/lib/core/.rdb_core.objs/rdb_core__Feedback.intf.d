@@ -1,0 +1,1 @@
+lib/core/feedback.mli: Hashtbl Rdb_exec Rdb_query Rdb_util

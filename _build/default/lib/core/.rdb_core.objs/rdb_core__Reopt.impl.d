@@ -1,0 +1,1 @@
+lib/core/reopt.ml: Array Catalog Fun Hashtbl List Printf Rdb_card Rdb_exec Rdb_plan Rdb_query Rdb_stats Rdb_util Schema Session Table Trigger

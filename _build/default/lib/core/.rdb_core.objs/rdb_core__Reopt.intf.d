@@ -1,0 +1,1 @@
+lib/core/reopt.mli: Rdb_card Rdb_exec Rdb_plan Rdb_query Rdb_util Session Trigger

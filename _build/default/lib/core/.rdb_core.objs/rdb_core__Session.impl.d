@@ -1,0 +1,1 @@
+lib/core/session.ml: Catalog Printf Rdb_card Rdb_cost Rdb_exec Rdb_plan Rdb_query Rdb_stats Rdb_util

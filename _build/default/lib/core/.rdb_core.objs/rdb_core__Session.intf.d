@@ -1,0 +1,1 @@
+lib/core/session.mli: Catalog Rdb_card Rdb_cost Rdb_exec Rdb_plan Rdb_query Rdb_stats Rdb_util

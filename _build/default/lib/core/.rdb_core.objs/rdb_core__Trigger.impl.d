@@ -1,0 +1,1 @@
+lib/core/trigger.ml: Rdb_util

@@ -1,0 +1,61 @@
+module Relset = Rdb_util.Relset
+module Query = Rdb_query.Query
+module Join_graph = Rdb_query.Join_graph
+module Predicate = Rdb_query.Predicate
+module Executor = Rdb_exec.Executor
+
+type t = (string, float) Hashtbl.t
+
+let create () : t = Hashtbl.create 256
+
+(* Alias-independent rendering of one relation: table name plus its sorted
+   predicates over positional column names. *)
+let rel_signature (q : Query.t) rel =
+  let preds =
+    Query.preds_of_cols q rel
+    |> List.map (fun (col, p) ->
+           Predicate.to_sql ~col:(Printf.sprintf "c%d" col) p)
+    |> List.sort String.compare
+  in
+  Printf.sprintf "%s[%s]" q.Query.rels.(rel).Query.table
+    (String.concat ";" preds)
+
+let signature (q : Query.t) s =
+  let members =
+    Relset.to_list s |> List.map (rel_signature q) |> List.sort String.compare
+  in
+  let edges =
+    Query.edges_within q s
+    |> List.map (fun { Query.l; r } ->
+           let side (cr : Query.colref) =
+             Printf.sprintf "%s.c%d" (rel_signature q cr.Query.rel) cr.Query.col
+           in
+           let a = side l and b = side r in
+           if String.compare a b <= 0 then a ^ "=" ^ b else b ^ "=" ^ a)
+    |> List.sort String.compare
+  in
+  String.concat "|" members ^ "||" ^ String.concat "|" edges
+
+let observe_card t q s card =
+  Hashtbl.replace t (signature q s) (float_of_int card)
+
+let observe t q (result : Executor.result) =
+  List.iter
+    (fun (obs : Executor.node_obs) ->
+      observe_card t q obs.Executor.obs_set obs.Executor.obs_actual)
+    result.Executor.observations
+
+let lookup t q s = Hashtbl.find_opt t (signature q s)
+
+let overrides_for t q =
+  let graph = Join_graph.make q in
+  let overrides = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      match lookup t q s with
+      | Some card -> Hashtbl.replace overrides s card
+      | None -> ())
+    (Join_graph.connected_subsets graph);
+  overrides
+
+let size t = Hashtbl.length t

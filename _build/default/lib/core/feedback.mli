@@ -1,0 +1,35 @@
+(** LEO-style execution feedback (paper §IV-E, reference [35]): remember
+    the true cardinalities observed while executing plans and reuse them
+    when planning future queries whose sub-joins look the same.
+
+    Sub-joins are keyed by a normalized signature — member tables, their
+    predicates, and the internal join edges — so the knowledge transfers
+    across queries that share structure, not just across repeated
+    executions of one query. The paper's warning applies: partially
+    corrected estimates can pick worse plans than the original; the [leo]
+    experiment quantifies this. *)
+
+module Relset = Rdb_util.Relset
+module Query := Rdb_query.Query
+
+type t
+
+val create : unit -> t
+
+val signature : Query.t -> Relset.t -> string
+(** The normalized signature of a sub-join; exposed for tests. *)
+
+val observe : t -> Query.t -> Rdb_exec.Executor.result -> unit
+(** Record every executed node's true cardinality. *)
+
+val observe_card : t -> Query.t -> Relset.t -> int -> unit
+(** Record one sub-join cardinality directly. *)
+
+val lookup : t -> Query.t -> Relset.t -> float option
+
+val overrides_for : t -> Query.t -> (Relset.t, float) Hashtbl.t
+(** Everything this store knows about the query's connected sub-joins, in
+    the shape {!Rdb_card.Estimator.Overrides} consumes. *)
+
+val size : t -> int
+(** Number of remembered sub-join cardinalities. *)

@@ -1,0 +1,266 @@
+module Relset = Rdb_util.Relset
+module Stat_utils = Rdb_util.Stat_utils
+module Query = Rdb_query.Query
+module Oracle = Rdb_card.Oracle
+module Plan = Rdb_plan.Plan
+module Executor = Rdb_exec.Executor
+
+type step = {
+  materialized_set : Relset.t;
+  materialized_aliases : string list;
+  temp_name : string;
+  temp_rows : int;
+  trigger_q_error : float;
+  trigger_est : float;
+  mat_ms : float;
+  mat_work : int;
+  replan_ms : float;
+  query_after : Query.t;
+}
+
+type outcome = {
+  steps : step list;
+  final_query : Query.t;
+  final_plan : Plan.t;
+  final_exec : Executor.result;
+  initial_plan_ms : float;
+  total_plan_ms : float;
+  total_exec_ms : float;
+  total_work : int;
+}
+
+(* Union-find over column references, used to collapse columns that the
+   materialized sub-join's internal equi-joins force to be equal: the temp
+   table then exposes a single column per class, as in the paper's Fig. 6
+   where one movie_id column replaces k.id/mk.keyword_id chains. *)
+module Colref_uf = struct
+  type t = (Query.colref, Query.colref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let rec find t cr =
+    match Hashtbl.find_opt t cr with
+    | None -> cr
+    | Some parent ->
+      let root = find t parent in
+      if root <> parent then Hashtbl.replace t cr root;
+      root
+
+  let union t a b =
+    let ra = find t a and rb = find t b in
+    if ra <> rb then
+      (* Deterministic representative: smallest (rel, col). *)
+      if ra < rb then Hashtbl.replace t rb ra else Hashtbl.replace t ra rb
+end
+
+let inside set (cr : Query.colref) = Relset.mem cr.Query.rel set
+
+let needed_cols (q : Query.t) set =
+  let uf = Colref_uf.create () in
+  List.iter
+    (fun { Query.l; r } ->
+      if inside set l && inside set r then Colref_uf.union uf l r)
+    q.Query.edges;
+  let referenced = ref [] in
+  let add cr = referenced := Colref_uf.find uf cr :: !referenced in
+  List.iter
+    (fun { Query.l; r } ->
+      if inside set l && not (inside set r) then add l;
+      if inside set r && not (inside set l) then add r)
+    q.Query.edges;
+  List.iter
+    (function
+      | Query.Count_star -> ()
+      | Query.Count_col cr | Query.Min_col cr | Query.Max_col cr
+      | Query.Sum_col cr ->
+        if inside set cr then add cr)
+    q.Query.select;
+  let cols = List.sort_uniq compare !referenced in
+  match cols with
+  | [] ->
+    (* Nothing outside needs a column — e.g. the whole query was
+       materialized under a COUNT aggregate. Expose one arbitrary column so
+       the temp table has a schema. *)
+    let rel = Relset.min_elt set in
+    [ { Query.rel; col = 0 } ]
+  | _ -> cols
+
+let rewrite (q : Query.t) ~set ~temp_name ~temp_cols =
+  let n = Query.n_rels q in
+  let uf = Colref_uf.create () in
+  List.iter
+    (fun { Query.l; r } ->
+      if inside set l && inside set r then Colref_uf.union uf l r)
+    q.Query.edges;
+  let keep =
+    List.filter (fun i -> not (Relset.mem i set)) (List.init n Fun.id)
+  in
+  let remap = Array.make n (-1) in
+  List.iteri (fun new_idx old_idx -> remap.(old_idx) <- new_idx) keep;
+  let temp_idx = List.length keep in
+  let temp_pos cr =
+    let canonical = Colref_uf.find uf cr in
+    let rec scan i = function
+      | [] -> invalid_arg "Reopt.rewrite: column not materialized"
+      | c :: rest -> if c = canonical then i else scan (i + 1) rest
+    in
+    scan 0 temp_cols
+  in
+  let map_colref (cr : Query.colref) =
+    if inside set cr then { Query.rel = temp_idx; col = temp_pos cr }
+    else { Query.rel = remap.(cr.Query.rel); col = cr.Query.col }
+  in
+  let rels =
+    Array.append
+      (Array.of_list (List.map (fun i -> q.Query.rels.(i)) keep))
+      [| { Query.alias = temp_name; table = temp_name } |]
+  in
+  let preds =
+    List.filter_map
+      (fun ({ Query.target; p } : Query.pred) ->
+        if inside set target then None
+        else Some { Query.target = map_colref target; p })
+      q.Query.preds
+  in
+  let edges =
+    List.filter_map
+      (fun { Query.l; r } ->
+        if inside set l && inside set r then None
+        else Some { Query.l = map_colref l; r = map_colref r })
+      q.Query.edges
+  in
+  (* Crossing edges collapsed to the same temp column against the same
+     outside column become duplicates; keep one of each. *)
+  let edges = List.sort_uniq compare edges in
+  let select =
+    List.map
+      (function
+        | Query.Count_star -> Query.Count_star
+        | Query.Count_col cr -> Query.Count_col (map_colref cr)
+        | Query.Min_col cr -> Query.Min_col (map_colref cr)
+        | Query.Max_col cr -> Query.Max_col (map_colref cr)
+        | Query.Sum_col cr -> Query.Sum_col (map_colref cr))
+      q.Query.select
+  in
+  { Query.name = q.Query.name ^ "+"; rels; preds; edges; select }
+
+(* The lowest (fewest relations, then deepest in post-order) join operator
+   whose Q-error trips the trigger. *)
+let find_trigger prepared plan (trigger : Trigger.t) =
+  let oracle = Session.oracle prepared in
+  let best = ref None in
+  List.iter
+    (fun (j : Plan.join) ->
+      let set = Relset.union (Plan.rel_set j.Plan.outer) (Plan.rel_set j.Plan.inner) in
+      let est = j.Plan.join_est in
+      let actual = float_of_int (Oracle.true_card oracle set) in
+      if Trigger.fires trigger ~est ~actual then begin
+        let size = Relset.cardinal set in
+        let better =
+          match !best with
+          | None -> true
+          | Some (_, prev_set, _, _) -> size < Relset.cardinal prev_set
+        in
+        if better then
+          best := Some (j, set, est, Stat_utils.q_error ~est ~actual)
+      end)
+    (Plan.joins_bottom_up plan);
+  !best
+
+let temp_schema session (q : Query.t) temp_cols =
+  let catalog = Session.catalog session in
+  Schema.make
+    (List.mapi
+       (fun i (cr : Query.colref) ->
+         let tbl = Catalog.table_exn catalog q.Query.rels.(cr.Query.rel).Query.table in
+         let src = Schema.column (Table.schema tbl) cr.Query.col in
+         { Schema.name = Printf.sprintf "c%d" i; ty = src.Schema.ty })
+       temp_cols)
+
+let run ?work_budget ?deadline_ms ?(cleanup = true) ?(max_steps = 32) ?initial
+    session ~trigger ~mode q0 =
+  let temp_names = ref [] in
+  let rec loop q steps plan_times step_count =
+    let prepared =
+      match initial with
+      | Some p when step_count = 0 && Session.query p == q -> p
+      | Some _ | None -> Session.prepare session q
+    in
+    let plan, pstats, _estimator = Session.plan prepared ~mode in
+    let plan_times = pstats.Rdb_plan.Optimizer.plan_ms :: plan_times in
+    let trigger_hit =
+      if step_count >= max_steps then None else find_trigger prepared plan trigger
+    in
+    match trigger_hit with
+    | None ->
+      let final_exec = Session.execute ?work_budget ?deadline_ms prepared plan in
+      (q, plan, final_exec, List.rev steps, List.rev plan_times)
+    | Some (jnode, set, est, q_err) ->
+      let temp_cols = needed_cols q set in
+      let mat =
+        Executor.materialize ?work_budget ?deadline_ms
+          ~catalog:(Session.catalog session) ~query:q ~cols:temp_cols
+          (Plan.Join jnode)
+      in
+      let temp_name = Session.fresh_temp_name session in
+      temp_names := temp_name :: !temp_names;
+      let schema = temp_schema session q temp_cols in
+      let table =
+        Table.of_rows ~name:temp_name ~schema mat.Executor.mat_rows
+      in
+      Catalog.add_table (Session.catalog session) table;
+      Session.analyze_table session temp_name;
+      let q' = rewrite q ~set ~temp_name ~temp_cols in
+      let step =
+        {
+          materialized_set = set;
+          materialized_aliases =
+            List.map (Query.rel_alias q) (Relset.to_list set);
+          temp_name;
+          temp_rows = Table.nrows table;
+          trigger_q_error = q_err;
+          trigger_est = est;
+          mat_ms = mat.Executor.mat_elapsed_ms;
+          mat_work = mat.Executor.mat_work;
+          replan_ms = 0.0;
+          query_after = q';
+        }
+      in
+      loop q' (step :: steps) plan_times (step_count + 1)
+  in
+  let cleanup_temps () =
+    List.iter
+      (fun name ->
+        Catalog.drop_table (Session.catalog session) name;
+        Rdb_stats.Db_stats.drop (Session.stats session) ~table:name)
+      !temp_names
+  in
+  match loop q0 [] [] 0 with
+  | final_query, final_plan, final_exec, steps, plan_times ->
+    if cleanup then cleanup_temps ();
+    (* plan_times.(0) planned the original query; plan_times.(i) planned
+       the SELECT that step i's rewrite produced. *)
+    let steps =
+      List.mapi
+        (fun i s ->
+          match List.nth_opt plan_times (i + 1) with
+          | Some ms -> { s with replan_ms = ms }
+          | None -> s)
+        steps
+    in
+    let mat_ms = List.fold_left (fun acc s -> acc +. s.mat_ms) 0.0 steps in
+    let mat_work = List.fold_left (fun acc s -> acc + s.mat_work) 0 steps in
+    {
+      steps;
+      final_query;
+      final_plan;
+      final_exec;
+      initial_plan_ms =
+        (match plan_times with ms :: _ -> ms | [] -> 0.0);
+      total_plan_ms = List.fold_left ( +. ) 0.0 plan_times;
+      total_exec_ms = mat_ms +. final_exec.Executor.elapsed_ms;
+      total_work = mat_work + final_exec.Executor.work;
+    }
+  | exception e ->
+    if cleanup then cleanup_temps ();
+    raise e

@@ -1,0 +1,75 @@
+(** Mid-query re-optimization — the paper's contribution (§V).
+
+    The simulated scheme: plan the query; find the lowest join operator
+    whose true cardinality differs from the estimate by at least the
+    trigger's Q-error threshold; execute that sub-join and materialize it
+    as a temporary table ([CREATE TEMPORARY TABLE … AS SELECT …]); ANALYZE
+    the temp table; rewrite the remainder of the query with the temp table
+    substituted for the materialized relations; re-plan; repeat until no
+    join trips the trigger; execute the final SELECT.
+
+    Accounting mirrors §V: planning time is the initial plan plus every
+    re-plan of the SELECT (temp-table creation is not re-planned — its plan
+    is the already-chosen subtree); execution time is the sum of the
+    materializations and the final execution. *)
+
+module Relset = Rdb_util.Relset
+module Query := Rdb_query.Query
+module Plan := Rdb_plan.Plan
+module Executor := Rdb_exec.Executor
+
+type step = {
+  materialized_set : Relset.t;
+      (** relation indexes materialized, in the pre-step query's numbering *)
+  materialized_aliases : string list;
+  temp_name : string;
+  temp_rows : int;
+  trigger_q_error : float;
+  trigger_est : float;
+  mat_ms : float;    (** execution time of the temp-table creation *)
+  mat_work : int;
+  replan_ms : float; (** planning time of the rewritten SELECT *)
+  query_after : Query.t;
+}
+
+type outcome = {
+  steps : step list;
+  final_query : Query.t;
+  final_plan : Plan.t;
+  final_exec : Executor.result;
+  initial_plan_ms : float;
+  total_plan_ms : float;   (** initial plan + every re-plan *)
+  total_exec_ms : float;   (** materializations + final execution *)
+  total_work : int;
+}
+
+val run :
+  ?work_budget:int ->
+  ?deadline_ms:float ->
+  ?cleanup:bool ->
+  ?max_steps:int ->
+  ?initial:Session.prepared ->
+  Session.t ->
+  trigger:Trigger.t ->
+  mode:Rdb_card.Estimator.mode ->
+  Query.t ->
+  outcome
+(** Run the full re-optimization loop. [mode] is the estimator used for
+    (re-)planning, so re-optimization composes with perfect-(n) as in
+    Figure 8. [cleanup] (default true) drops the temporary tables from the
+    catalog afterwards. [max_steps] (default 32) bounds the loop. *)
+
+val rewrite :
+  Query.t ->
+  set:Relset.t ->
+  temp_name:string ->
+  temp_cols:Query.colref list ->
+  Query.t
+(** The pure query rewrite: replace the relations of [set] by a temp table
+    exposing [temp_cols] (one column per listed reference, in order).
+    Exposed for tests and the Figure 6 example. *)
+
+val needed_cols : Query.t -> Relset.t -> Query.colref list
+(** The columns a materialization of [set] must expose: one representative
+    per equivalence class (under the set's internal equi-join edges) of the
+    columns referenced by crossing join edges or aggregates. *)

@@ -1,0 +1,86 @@
+module Relset = Rdb_util.Relset
+module Query = Rdb_query.Query
+module Join_graph = Rdb_query.Join_graph
+module Db_stats = Rdb_stats.Db_stats
+module Analyze = Rdb_stats.Analyze
+module Estimator = Rdb_card.Estimator
+module Oracle = Rdb_card.Oracle
+module Plan = Rdb_plan.Plan
+module Optimizer = Rdb_plan.Optimizer
+module Search_space = Rdb_plan.Search_space
+module Executor = Rdb_exec.Executor
+
+type t = {
+  catalog : Catalog.t;
+  stats : Db_stats.t;
+  cost_params : Rdb_cost.Cost_model.params;
+  mutable temp_counter : int;
+}
+
+let create ?(cost_params = Rdb_cost.Cost_model.default) catalog =
+  { catalog; stats = Db_stats.create (); cost_params; temp_counter = 0 }
+
+let catalog t = t.catalog
+let stats t = t.stats
+let cost_params t = t.cost_params
+
+let analyze ?buckets ?mcv_slots t =
+  Analyze.all ?buckets ?mcv_slots t.catalog t.stats
+
+let analyze_table t name =
+  let tbl = Catalog.table_exn t.catalog name in
+  Db_stats.set t.stats ~table:name (Analyze.table tbl)
+
+let fresh_temp_name t =
+  t.temp_counter <- t.temp_counter + 1;
+  Printf.sprintf "temp_%d" t.temp_counter
+
+type prepared = {
+  session : t;
+  q : Query.t;
+  oracle : Oracle.t;
+  space : Search_space.t;
+}
+
+let prepare t q =
+  (match Query.validate t.catalog q with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Session.prepare: " ^ msg));
+  let graph = Join_graph.make q in
+  {
+    session = t;
+    q;
+    oracle = Oracle.create t.catalog q;
+    space = Search_space.build graph;
+  }
+
+let query p = p.q
+let oracle p = p.oracle
+let space p = p.space
+let session p = p.session
+
+let plan ?log p ~mode =
+  let estimator =
+    Estimator.create ?log ~mode ~catalog:p.session.catalog
+      ~stats:p.session.stats ~oracle:p.oracle p.q
+  in
+  let plan, stats =
+    Optimizer.plan ~space:p.space ~cost_params:p.session.cost_params
+      ~catalog:p.session.catalog ~estimator p.q
+  in
+  (plan, stats, estimator)
+
+let plan_robust ?log ~uncertainty p ~mode =
+  let estimator =
+    Estimator.create ?log ~mode ~catalog:p.session.catalog
+      ~stats:p.session.stats ~oracle:p.oracle p.q
+  in
+  let plan, stats =
+    Optimizer.plan_robust ~space:p.space ~cost_params:p.session.cost_params
+      ~uncertainty ~catalog:p.session.catalog ~estimator p.q
+  in
+  (plan, stats, estimator)
+
+let execute ?work_budget ?deadline_ms ?adaptive p plan =
+  Executor.execute ?work_budget ?deadline_ms ?adaptive
+    ~catalog:p.session.catalog ~query:p.q plan

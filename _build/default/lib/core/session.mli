@@ -1,0 +1,63 @@
+(** A session bundles the database (catalog + statistics + cost model) and
+    provides prepared per-query contexts that share the expensive artifacts
+    — the true-cardinality oracle and the DPccp search space — across every
+    estimator configuration the experiments sweep over. *)
+
+module Relset = Rdb_util.Relset
+module Query := Rdb_query.Query
+module Db_stats := Rdb_stats.Db_stats
+module Estimator := Rdb_card.Estimator
+module Oracle := Rdb_card.Oracle
+module Estimate_log := Rdb_card.Estimate_log
+module Plan := Rdb_plan.Plan
+module Optimizer := Rdb_plan.Optimizer
+module Search_space := Rdb_plan.Search_space
+module Executor := Rdb_exec.Executor
+
+type t
+
+val create : ?cost_params:Rdb_cost.Cost_model.params -> Catalog.t -> t
+(** Wrap a populated catalog. Statistics start empty: call {!analyze}. *)
+
+val catalog : t -> Catalog.t
+val stats : t -> Db_stats.t
+val cost_params : t -> Rdb_cost.Cost_model.params
+
+val analyze : ?buckets:int -> ?mcv_slots:int -> t -> unit
+(** ANALYZE every table (the paper's maximum statistics target). *)
+
+val analyze_table : t -> string -> unit
+(** ANALYZE one table; used for temp tables during re-optimization. *)
+
+val fresh_temp_name : t -> string
+
+type prepared
+
+val prepare : t -> Query.t -> prepared
+(** Validates the query and builds its shared oracle and search space.
+    Raises [Invalid_argument] when validation fails. *)
+
+val query : prepared -> Query.t
+val oracle : prepared -> Oracle.t
+val space : prepared -> Search_space.t
+val session : prepared -> t
+
+val plan :
+  ?log:Estimate_log.t ->
+  prepared ->
+  mode:Estimator.mode ->
+  Plan.t * Optimizer.stats * Estimator.t
+(** Optimize under the given estimation mode. *)
+
+val plan_robust :
+  ?log:Estimate_log.t ->
+  uncertainty:float ->
+  prepared ->
+  mode:Estimator.mode ->
+  Plan.t * Optimizer.stats * Estimator.t
+(** Rio-style proactive planning: minimize worst-case cost over an
+    uncertainty interval that widens with join depth. *)
+
+val execute :
+  ?work_budget:int -> ?deadline_ms:float -> ?adaptive:bool -> prepared ->
+  Plan.t -> Executor.result

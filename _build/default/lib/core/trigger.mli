@@ -1,0 +1,17 @@
+(** The re-optimization trigger: fire when a join's true cardinality
+    deviates from the estimate by at least a Q-error threshold (the paper
+    re-optimizes when the factor-[n] condition of §V-A holds; threshold 32
+    is its sweet spot). *)
+
+type t = {
+  threshold : float;      (** minimum Q-error that triggers, >= 1 *)
+  min_actual_rows : int;  (** ignore joins whose true size is below this;
+                              0 reproduces the paper exactly *)
+}
+
+val create : ?min_actual_rows:int -> float -> t
+
+val fires : t -> est:float -> actual:float -> bool
+
+val q_error : est:float -> actual:float -> float
+(** Re-exported {!Rdb_util.Stat_utils.q_error} for convenience. *)

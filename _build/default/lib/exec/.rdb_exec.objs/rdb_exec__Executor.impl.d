@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Array Catalog Column Hash_index Hashtbl Int List Option Rdb_plan Rdb_query Rdb_util Table Unix Value

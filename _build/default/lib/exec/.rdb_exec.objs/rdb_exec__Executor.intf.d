@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Catalog Rdb_plan Rdb_query Rdb_util Value

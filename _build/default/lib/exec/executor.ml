@@ -1,0 +1,520 @@
+module Relset = Rdb_util.Relset
+module Int_vec = Rdb_util.Int_vec
+module Query = Rdb_query.Query
+module Predicate = Rdb_query.Predicate
+module Plan = Rdb_plan.Plan
+
+type node_obs = {
+  obs_set : Relset.t;
+  obs_est : float;
+  obs_actual : int;
+  obs_label : string;
+}
+
+type result = {
+  aggs : Value.t list;
+  out_rows : int;
+  work : int;
+  elapsed_ms : float;
+  observations : node_obs list;
+  switches : int;
+}
+
+exception Work_budget_exceeded of { spent : int; elapsed_ms : float }
+
+(* An intermediate relation: [width] base-table row ids per tuple, one per
+   member of [rels] (in that order). *)
+type inter = { rels : int array; width : int; data : int array; nrows : int }
+
+type ctx = {
+  catalog : Catalog.t;
+  q : Query.t;
+  tables : Table.t array;
+  mutable work : int;
+  budget : int option;
+  deadline_ms : float option;
+  mutable next_deadline_check : int;
+  start : float;
+  mutable obs : node_obs list;
+  adaptive : bool;
+  mutable switches : int;
+}
+
+let now () = Unix.gettimeofday ()
+
+let elapsed_ms ctx = (now () -. ctx.start) *. 1000.0
+
+let spend ctx n =
+  ctx.work <- ctx.work + n;
+  (match ctx.budget with
+   | Some b when ctx.work > b ->
+     raise (Work_budget_exceeded { spent = ctx.work; elapsed_ms = elapsed_ms ctx })
+   | Some _ | None -> ());
+  (* Wall-clock deadline, checked every ~4M work units so the clock itself
+     stays cheap. *)
+  match ctx.deadline_ms with
+  | Some limit when ctx.work >= ctx.next_deadline_check ->
+    ctx.next_deadline_check <- ctx.work + 4_000_000;
+    let e = elapsed_ms ctx in
+    if e > limit then
+      raise (Work_budget_exceeded { spent = ctx.work; elapsed_ms = e })
+  | Some _ | None -> ()
+
+let pos_of_rel inter rel =
+  let rec scan i =
+    if i >= inter.width then invalid_arg "Executor: relation not in intermediate"
+    else if inter.rels.(i) = rel then i
+    else scan (i + 1)
+  in
+  scan 0
+
+let observe ctx node inter label =
+  ctx.obs <-
+    {
+      obs_set = Plan.rel_set node;
+      obs_est = Plan.est_rows node;
+      obs_actual = inter.nrows;
+      obs_label = label;
+    }
+    :: ctx.obs
+
+(* Predicate evaluation against one base-table row. *)
+let row_satisfies ctx rel row =
+  let tbl = ctx.tables.(rel) in
+  List.for_all
+    (fun (col, p) ->
+      match Table.column tbl col with
+      | Column.Ints cells -> Predicate.eval_int p cells.(row)
+      | Column.Strs cells -> Predicate.eval_str p cells.(row))
+    (Query.preds_of_cols ctx.q rel)
+
+let scan_node ctx (s : Plan.scan) =
+  let rel = s.Plan.scan_rel in
+  let tbl = ctx.tables.(rel) in
+  let out = Int_vec.create ~capacity:1024 () in
+  (match s.Plan.access with
+   | Plan.Seq_scan ->
+     let n = Table.nrows tbl in
+     spend ctx n;
+     for row = 0 to n - 1 do
+       if row_satisfies ctx rel row then Int_vec.push out row
+     done
+   | Plan.Index_scan { col; key } ->
+     (match Catalog.index ctx.catalog ~table:(Table.name tbl) ~col with
+      | None -> invalid_arg "Executor: index scan without index"
+      | Some index ->
+        let candidates = Hash_index.lookup index key in
+        spend ctx (Array.length candidates);
+        Array.iter
+          (fun row -> if row_satisfies ctx rel row then Int_vec.push out row)
+          candidates));
+  let data = Int_vec.to_array out in
+  { rels = [| rel |]; width = 1; data; nrows = Array.length data }
+
+(* The value of (rel, col) for tuple [i] of an intermediate. *)
+let cell ctx inter pos col i =
+  let rowid = inter.data.((i * inter.width) + pos) in
+  Table.int_cell ctx.tables.(inter.rels.(pos)) ~row:rowid ~col
+
+let concat_rels a b = Array.append a.rels b.rels
+
+let hash_join ctx (j : Plan.join) outer inner =
+  let edges = j.Plan.join_edges in
+  let okeys =
+    Array.of_list
+      (List.map (fun e -> (pos_of_rel outer e.Query.l.Query.rel, e.Query.l.Query.col)) edges)
+  in
+  let ikeys =
+    Array.of_list
+      (List.map (fun e -> (pos_of_rel inner e.Query.r.Query.rel, e.Query.r.Query.col)) edges)
+  in
+  let out = Int_vec.create ~capacity:4096 () in
+  let emitted = ref 0 in
+  let emit obase ibase =
+    for c = 0 to outer.width - 1 do
+      Int_vec.push out outer.data.(obase + c)
+    done;
+    for c = 0 to inner.width - 1 do
+      Int_vec.push out inner.data.(ibase + c)
+    done;
+    incr emitted
+  in
+  (match okeys, ikeys with
+   | [| (opos, ocol) |], [| (ipos, icol) |] ->
+     let index = Hashtbl.create (Int.max 16 inner.nrows) in
+     spend ctx inner.nrows;
+     for i = 0 to inner.nrows - 1 do
+       let key = cell ctx inner ipos icol i in
+       if key <> Column.null_int then
+         Hashtbl.replace index key
+           ((i * inner.width)
+            :: Option.value ~default:[] (Hashtbl.find_opt index key))
+     done;
+     spend ctx outer.nrows;
+     for i = 0 to outer.nrows - 1 do
+       let key = cell ctx outer opos ocol i in
+       if key <> Column.null_int then
+         match Hashtbl.find_opt index key with
+         | Some bases ->
+           spend ctx (List.length bases);
+           List.iter (fun ibase -> emit (i * outer.width) ibase) bases
+         | None -> ()
+     done
+   | _ ->
+     let keys_of inter keys i =
+       Array.map (fun (pos, col) -> cell ctx inter pos col i) keys
+     in
+     let index = Hashtbl.create (Int.max 16 inner.nrows) in
+     spend ctx inner.nrows;
+     for i = 0 to inner.nrows - 1 do
+       let key = keys_of inner ikeys i in
+       if not (Array.exists (fun v -> v = Column.null_int) key) then
+         Hashtbl.replace index key
+           ((i * inner.width)
+            :: Option.value ~default:[] (Hashtbl.find_opt index key))
+     done;
+     spend ctx outer.nrows;
+     for i = 0 to outer.nrows - 1 do
+       let key = keys_of outer okeys i in
+       if not (Array.exists (fun v -> v = Column.null_int) key) then
+         match Hashtbl.find_opt index key with
+         | Some bases ->
+           spend ctx (List.length bases);
+           List.iter (fun ibase -> emit (i * outer.width) ibase) bases
+         | None -> ()
+     done);
+  let data = Int_vec.to_array out in
+  {
+    rels = concat_rels outer inner;
+    width = outer.width + inner.width;
+    data;
+    nrows = !emitted;
+  }
+
+let index_nl ctx (j : Plan.join) outer inner_rel inner_col =
+  let edges = j.Plan.join_edges in
+  let key_edge, other_edges =
+    match
+      List.partition (fun e -> e.Query.r.Query.col = inner_col) edges
+    with
+    | e :: more, others -> (e, more @ others)
+    | [], _ -> invalid_arg "Executor: index NL without key edge"
+  in
+  let tbl = ctx.tables.(inner_rel) in
+  let index =
+    match Catalog.index ctx.catalog ~table:(Table.name tbl) ~col:inner_col with
+    | Some i -> i
+    | None -> invalid_arg "Executor: index NL without index"
+  in
+  let opos_key = pos_of_rel outer key_edge.Query.l.Query.rel in
+  let ocol_key = key_edge.Query.l.Query.col in
+  let others =
+    Array.of_list
+      (List.map
+         (fun e ->
+           (pos_of_rel outer e.Query.l.Query.rel, e.Query.l.Query.col, e.Query.r.Query.col))
+         other_edges)
+  in
+  let out = Int_vec.create ~capacity:4096 () in
+  let emitted = ref 0 in
+  spend ctx outer.nrows;
+  for i = 0 to outer.nrows - 1 do
+    let key = cell ctx outer opos_key ocol_key i in
+    if key <> Column.null_int then begin
+      let candidates = Hash_index.lookup index key in
+      spend ctx (Array.length candidates);
+      Array.iter
+        (fun row ->
+          let edges_ok =
+            Array.for_all
+              (fun (opos, ocol, icol) ->
+                let ov = cell ctx outer opos ocol i in
+                let iv = Table.int_cell tbl ~row ~col:icol in
+                ov <> Column.null_int && ov = iv)
+              others
+          in
+          if edges_ok && row_satisfies ctx inner_rel row then begin
+            for c = 0 to outer.width - 1 do
+              Int_vec.push out outer.data.((i * outer.width) + c)
+            done;
+            Int_vec.push out row;
+            incr emitted
+          end)
+        candidates
+    end
+  done;
+  let data = Int_vec.to_array out in
+  {
+    rels = Array.append outer.rels [| inner_rel |];
+    width = outer.width + 1;
+    data;
+    nrows = !emitted;
+  }
+
+let merge_join ctx (j : Plan.join) outer inner =
+  let edges = j.Plan.join_edges in
+  let okeys =
+    Array.of_list
+      (List.map (fun e -> (pos_of_rel outer e.Query.l.Query.rel, e.Query.l.Query.col)) edges)
+  in
+  let ikeys =
+    Array.of_list
+      (List.map (fun e -> (pos_of_rel inner e.Query.r.Query.rel, e.Query.r.Query.col)) edges)
+  in
+  let extract inter keys =
+    spend ctx inter.nrows;
+    Array.init inter.nrows (fun i ->
+        Array.map (fun (pos, col) -> cell ctx inter pos col i) keys)
+  in
+  let okey = extract outer okeys and ikey = extract inner ikeys in
+  let non_null keys =
+    let out = Int_vec.create ~capacity:1024 () in
+    Array.iteri
+      (fun i key ->
+        if not (Array.exists (fun v -> v = Column.null_int) key) then
+          Int_vec.push out i)
+      keys;
+    Int_vec.to_array out
+  in
+  let cmp_key (a : int array) (b : int array) =
+    let rec go i =
+      if i >= Array.length a then 0
+      else
+        match Int.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+    in
+    go 0
+  in
+  let oidx = non_null okey and iidx = non_null ikey in
+  let sort_cost n =
+    let rec bits v acc = if v <= 1 then acc else bits (v lsr 1) (acc + 1) in
+    n * (1 + bits n 0)
+  in
+  spend ctx (sort_cost (Array.length oidx));
+  spend ctx (sort_cost (Array.length iidx));
+  Array.sort (fun a b -> cmp_key okey.(a) okey.(b)) oidx;
+  Array.sort (fun a b -> cmp_key ikey.(a) ikey.(b)) iidx;
+  let out = Int_vec.create ~capacity:4096 () in
+  let emitted = ref 0 in
+  let emit oi ii =
+    for c = 0 to outer.width - 1 do
+      Int_vec.push out outer.data.((oi * outer.width) + c)
+    done;
+    for c = 0 to inner.width - 1 do
+      Int_vec.push out inner.data.((ii * inner.width) + c)
+    done;
+    incr emitted
+  in
+  let no = Array.length oidx and ni = Array.length iidx in
+  let i = ref 0 and k = ref 0 in
+  while !i < no && !k < ni do
+    let c = cmp_key okey.(oidx.(!i)) ikey.(iidx.(!k)) in
+    if c < 0 then incr i
+    else if c > 0 then incr k
+    else begin
+      (* equal-key groups: emit the cross product *)
+      let key = okey.(oidx.(!i)) in
+      let i_end = ref !i in
+      while !i_end < no && cmp_key okey.(oidx.(!i_end)) key = 0 do incr i_end done;
+      let k_end = ref !k in
+      while !k_end < ni && cmp_key ikey.(iidx.(!k_end)) key = 0 do incr k_end done;
+      spend ctx ((!i_end - !i) * (!k_end - !k));
+      for a = !i to !i_end - 1 do
+        for b = !k to !k_end - 1 do
+          emit oidx.(a) iidx.(b)
+        done
+      done;
+      i := !i_end;
+      k := !k_end
+    end
+  done;
+  let data = Int_vec.to_array out in
+  {
+    rels = concat_rels outer inner;
+    width = outer.width + inner.width;
+    data;
+    nrows = !emitted;
+  }
+
+let nested_loop ctx (j : Plan.join) outer inner =
+  let edges = j.Plan.join_edges in
+  let conds =
+    Array.of_list
+      (List.map
+         (fun e ->
+           ( pos_of_rel outer e.Query.l.Query.rel,
+             e.Query.l.Query.col,
+             pos_of_rel inner e.Query.r.Query.rel,
+             e.Query.r.Query.col ))
+         edges)
+  in
+  let out = Int_vec.create ~capacity:4096 () in
+  let emitted = ref 0 in
+  for i = 0 to outer.nrows - 1 do
+    spend ctx inner.nrows;
+    for k = 0 to inner.nrows - 1 do
+      let ok =
+        Array.for_all
+          (fun (opos, ocol, ipos, icol) ->
+            let ov = cell ctx outer opos ocol i in
+            ov <> Column.null_int && ov = cell ctx inner ipos icol k)
+          conds
+      in
+      if ok then begin
+        for c = 0 to outer.width - 1 do
+          Int_vec.push out outer.data.((i * outer.width) + c)
+        done;
+        for c = 0 to inner.width - 1 do
+          Int_vec.push out inner.data.((k * inner.width) + c)
+        done;
+        incr emitted
+      end
+    done
+  done;
+  let data = Int_vec.to_array out in
+  {
+    rels = concat_rels outer inner;
+    width = outer.width + inner.width;
+    data;
+    nrows = !emitted;
+  }
+
+(* Cuttlefish-style adaptive operator selection (paper SS II-D): once the
+   outer input's true size is known, a nested-loop-family join whose outer
+   blew through its estimate is demoted to a hash join. Join ORDER stays
+   fixed -- the limitation the paper notes for adaptive processing. *)
+let adaptive_switch_factor = 8.0
+
+let rec exec ctx node =
+  match node with
+  | Plan.Scan s ->
+    let inter = scan_node ctx s in
+    observe ctx node inter "Scan";
+    inter
+  | Plan.Join j ->
+    let outer = exec ctx j.Plan.outer in
+    let algo =
+      match j.Plan.algo with
+      | (Plan.Index_nl _ | Plan.Nested_loop)
+        when ctx.adaptive
+             && float_of_int outer.nrows
+                > adaptive_switch_factor *. Plan.est_rows j.Plan.outer ->
+        ctx.switches <- ctx.switches + 1;
+        Plan.Hash_join
+      | algo -> algo
+    in
+    let j = { j with Plan.algo } in
+    let inter =
+      match j.Plan.algo with
+      | Plan.Hash_join ->
+        let inner = exec ctx j.Plan.inner in
+        hash_join ctx j outer inner
+      | Plan.Nested_loop ->
+        let inner = exec ctx j.Plan.inner in
+        nested_loop ctx j outer inner
+      | Plan.Merge_join ->
+        let inner = exec ctx j.Plan.inner in
+        merge_join ctx j outer inner
+      | Plan.Index_nl { inner_col } ->
+        let inner_rel =
+          match j.Plan.inner with
+          | Plan.Scan s -> s.Plan.scan_rel
+          | Plan.Join _ -> invalid_arg "Executor: index NL over a join"
+        in
+        index_nl ctx j outer inner_rel inner_col
+    in
+    observe ctx node inter (Plan.algo_name j.Plan.algo);
+    inter
+
+let make_ctx ?work_budget ?deadline_ms ?(adaptive = false) ~catalog ~query () =
+  {
+    catalog;
+    q = query;
+    tables =
+      Array.map
+        (fun (r : Query.rel) -> Catalog.table_exn catalog r.Query.table)
+        query.Query.rels;
+    work = 0;
+    budget = work_budget;
+    deadline_ms;
+    next_deadline_check = 4_000_000;
+    start = now ();
+    obs = [];
+    adaptive;
+    switches = 0;
+  }
+
+let eval_aggs ctx inter =
+  let fold_col (cr : Query.colref) init f =
+    let pos = pos_of_rel inter cr.Query.rel in
+    let tbl = ctx.tables.(inter.rels.(pos)) in
+    let acc = ref init in
+    for i = 0 to inter.nrows - 1 do
+      let rowid = inter.data.((i * inter.width) + pos) in
+      acc := f !acc (Table.value tbl ~row:rowid ~col:cr.Query.col)
+    done;
+    !acc
+  in
+  let extreme cr keep =
+    fold_col cr Value.Null (fun best v ->
+        if Value.is_null v then best
+        else
+          match best with
+          | Value.Null -> v
+          | b -> if keep (Value.compare v b) then v else b)
+  in
+  List.map
+    (fun agg ->
+      match agg with
+      | Query.Count_star -> Value.Int inter.nrows
+      | Query.Count_col cr ->
+        Value.Int
+          (fold_col cr 0 (fun acc v -> if Value.is_null v then acc else acc + 1))
+      | Query.Min_col cr -> extreme cr (fun c -> c < 0)
+      | Query.Max_col cr -> extreme cr (fun c -> c > 0)
+      | Query.Sum_col cr ->
+        Value.Int
+          (fold_col cr 0 (fun acc v ->
+               match v with
+               | Value.Int i -> acc + i
+               | Value.Null -> acc
+               | Value.Str _ -> invalid_arg "SUM over a string column")))
+    ctx.q.Query.select
+
+let execute ?work_budget ?deadline_ms ?adaptive ~catalog ~query plan =
+  let ctx = make_ctx ?work_budget ?deadline_ms ?adaptive ~catalog ~query () in
+  let inter = exec ctx plan in
+  let aggs = eval_aggs ctx inter in
+  {
+    aggs;
+    out_rows = inter.nrows;
+    work = ctx.work;
+    elapsed_ms = elapsed_ms ctx;
+    observations = List.rev ctx.obs;
+    switches = ctx.switches;
+  }
+
+type materialization = {
+  mat_rows : Value.t array list;
+  mat_work : int;
+  mat_elapsed_ms : float;
+}
+
+let materialize ?work_budget ?deadline_ms ~catalog ~query ~cols plan =
+  let ctx = make_ctx ?work_budget ?deadline_ms ~catalog ~query () in
+  let inter = exec ctx plan in
+  let sources =
+    Array.of_list
+      (List.map (fun (cr : Query.colref) -> (pos_of_rel inter cr.Query.rel, cr.Query.col)) cols)
+  in
+  let rows = ref [] in
+  for i = inter.nrows - 1 downto 0 do
+    let row =
+      Array.map
+        (fun (pos, col) ->
+          let rowid = inter.data.((i * inter.width) + pos) in
+          Table.value ctx.tables.(inter.rels.(pos)) ~row:rowid ~col)
+        sources
+    in
+    rows := row :: !rows
+  done;
+  { mat_rows = !rows; mat_work = ctx.work; mat_elapsed_ms = elapsed_ms ctx }

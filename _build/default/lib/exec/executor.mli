@@ -1,0 +1,67 @@
+(** The query executor: materializing, instrumented evaluation of physical
+    plans. Intermediate results are vectors of base-table row ids, one per
+    participating relation, so joins only ever shuffle integers and column
+    values are fetched from the columnar base tables on demand.
+
+    Every node records its true output cardinality — the information
+    [EXPLAIN ANALYZE] gives the paper's re-optimization simulation — plus
+    deterministic "work units" (rows scanned, probes, emits) that tests use
+    instead of wall time. *)
+
+module Relset = Rdb_util.Relset
+module Query := Rdb_query.Query
+module Plan := Rdb_plan.Plan
+
+type node_obs = {
+  obs_set : Relset.t;   (** relations covered by the node *)
+  obs_est : float;      (** the optimizer's estimate *)
+  obs_actual : int;     (** true rows produced *)
+  obs_label : string;   (** operator name, for EXPLAIN ANALYZE output *)
+}
+
+type result = {
+  aggs : Value.t list;   (** one value per aggregate in the SELECT list *)
+  out_rows : int;        (** rows feeding the aggregates *)
+  work : int;            (** deterministic work units *)
+  elapsed_ms : float;    (** wall-clock execution time *)
+  observations : node_obs list;  (** post-order, deepest join first *)
+  switches : int;        (** adaptive operator demotions performed *)
+}
+
+exception Work_budget_exceeded of { spent : int; elapsed_ms : float }
+(** Raised when the optional work budget runs out: the executor's guard
+    against catastrophic plans that would otherwise run for hours (the
+    paper's >100x regressions, §V-D). *)
+
+val execute :
+  ?work_budget:int ->
+  ?deadline_ms:float ->
+  ?adaptive:bool ->
+  catalog:Catalog.t ->
+  query:Query.t ->
+  Plan.t ->
+  result
+(** [work_budget] and [deadline_ms] both abort via
+    {!Work_budget_exceeded}: the former deterministically, the latter by
+    wall clock (checked every ~4M work units). [adaptive] (default false)
+    enables Cuttlefish-style runtime operator switching (§II-D): a
+    nested-loop-family join whose outer input exceeds its estimate 8x is
+    demoted to a hash join — join order stays fixed, the very limitation
+    the paper contrasts with re-optimization. *)
+
+type materialization = {
+  mat_rows : Value.t array list;  (** row-major projection *)
+  mat_work : int;
+  mat_elapsed_ms : float;
+}
+
+val materialize :
+  ?work_budget:int ->
+  ?deadline_ms:float ->
+  catalog:Catalog.t ->
+  query:Query.t ->
+  cols:Query.colref list ->
+  Plan.t ->
+  materialization
+(** Execute a plan and project its output onto the given column references
+    — the body of the re-optimizer's [CREATE TEMPORARY TABLE]. *)

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Hashtbl List Printf Rdb_card Rdb_core Rdb_exec Rdb_imdb Rdb_plan Rdb_query String

@@ -1,0 +1,181 @@
+module Query = Rdb_query.Query
+module Session = Rdb_core.Session
+module Trigger = Rdb_core.Trigger
+module Reopt = Rdb_core.Reopt
+module Estimator = Rdb_card.Estimator
+module Oracle = Rdb_card.Oracle
+module Executor = Rdb_exec.Executor
+module Optimizer = Rdb_plan.Optimizer
+
+type config =
+  | Default
+  | Perfect of int
+  | Perfect_all
+  | Reopt of float
+  | Perfect_reopt of int * float
+  | Sampling_est of int
+  | Robust of float
+  | Adaptive
+
+let config_name = function
+  | Default -> "default"
+  | Perfect n -> Printf.sprintf "perfect-%d" n
+  | Perfect_all -> "perfect-all"
+  | Reopt thr -> Printf.sprintf "reopt-%g" thr
+  | Perfect_reopt (n, thr) -> Printf.sprintf "perfect-%d+reopt-%g" n thr
+  | Sampling_est size -> Printf.sprintf "sampling-%d" size
+  | Robust u -> Printf.sprintf "robust-%g" u
+  | Adaptive -> "adaptive"
+
+type measurement = {
+  m_query : string;
+  m_rels : int;
+  m_plan_ms : float;
+  m_exec_ms : float;
+  m_work : int;
+  m_capped : bool;
+  m_steps : int;
+}
+
+type lab = {
+  session : Session.t;
+  queries : Query.t list;
+  prepared : (string, Session.prepared) Hashtbl.t;
+  cache : (string * string, measurement) Hashtbl.t;
+  work_budget : int;
+  deadline_ms : float;
+  scale : float;
+}
+
+let create_lab ?(seed = 42) ?(scale = 1.0) ?(work_budget = 60_000_000)
+    ?(deadline_ms = 4_000.0) () =
+  let catalog = Rdb_imdb.Imdb_gen.generate ~seed ~scale () in
+  let session = Session.create catalog in
+  Session.analyze session;
+  let queries = Rdb_imdb.Job_queries.all catalog in
+  {
+    session;
+    queries;
+    prepared = Hashtbl.create 128;
+    cache = Hashtbl.create 1024;
+    work_budget;
+    deadline_ms;
+    scale;
+  }
+
+let session lab = lab.session
+let queries lab = lab.queries
+let scale lab = lab.scale
+
+let query lab name =
+  match List.find_opt (fun q -> String.equal q.Query.name name) lab.queries with
+  | Some q -> q
+  | None -> invalid_arg ("Runner.query: unknown query " ^ name)
+
+let prepared_of lab q =
+  match Hashtbl.find_opt lab.prepared q.Query.name with
+  | Some p -> p
+  | None ->
+    let p = Session.prepare lab.session q in
+    Hashtbl.replace lab.prepared q.Query.name p;
+    p
+
+let mode_of_config lab q = function
+  | Default | Reopt _ | Robust _ | Adaptive -> Estimator.Default
+  | Sampling_est size ->
+    Estimator.Sampling
+      (Rdb_card.Join_sample.create ~sample_size:size
+         (Session.catalog lab.session) q)
+  | Perfect n ->
+    Oracle.ensure_up_to (Session.oracle (prepared_of lab q)) n;
+    Estimator.Perfect n
+  | Perfect_all ->
+    Oracle.ensure_up_to (Session.oracle (prepared_of lab q)) (Query.n_rels q);
+    Estimator.Perfect_all
+  | Perfect_reopt (n, _) ->
+    Oracle.ensure_up_to (Session.oracle (prepared_of lab q)) n;
+    Estimator.Perfect n
+
+let measure_plain lab config q =
+  let prepared = prepared_of lab q in
+  let mode = mode_of_config lab q config in
+  let plan, pstats, _ =
+    match config with
+    | Robust u -> Session.plan_robust ~uncertainty:u prepared ~mode
+    | _ -> Session.plan prepared ~mode
+  in
+  try
+    let adaptive = match config with Adaptive -> true | _ -> false in
+    let res =
+      Session.execute ~work_budget:lab.work_budget
+        ~deadline_ms:lab.deadline_ms ~adaptive prepared plan
+    in
+    {
+      m_query = q.Query.name;
+      m_rels = Query.n_rels q;
+      m_plan_ms = pstats.Optimizer.plan_ms;
+      m_exec_ms = res.Executor.elapsed_ms;
+      m_work = res.Executor.work;
+      m_capped = false;
+      m_steps = 0;
+    }
+  with Executor.Work_budget_exceeded { spent; elapsed_ms } ->
+    {
+      m_query = q.Query.name;
+      m_rels = Query.n_rels q;
+      m_plan_ms = pstats.Optimizer.plan_ms;
+      m_exec_ms = elapsed_ms;
+      m_work = spent;
+      m_capped = true;
+      m_steps = 0;
+    }
+
+let measure_reopt lab config q threshold =
+  let prepared = prepared_of lab q in
+  let mode = mode_of_config lab q config in
+  let trigger = Trigger.create threshold in
+  try
+    let outcome =
+      Reopt.run ~work_budget:lab.work_budget ~deadline_ms:lab.deadline_ms
+        ~initial:prepared lab.session ~trigger ~mode q
+    in
+    {
+      m_query = q.Query.name;
+      m_rels = Query.n_rels q;
+      m_plan_ms = outcome.Reopt.total_plan_ms;
+      m_exec_ms = outcome.Reopt.total_exec_ms;
+      m_work = outcome.Reopt.total_work;
+      m_capped = false;
+      m_steps = List.length outcome.Reopt.steps;
+    }
+  with Executor.Work_budget_exceeded { spent; elapsed_ms } ->
+    {
+      m_query = q.Query.name;
+      m_rels = Query.n_rels q;
+      m_plan_ms = 0.0;
+      m_exec_ms = elapsed_ms;
+      m_work = spent;
+      m_capped = true;
+      m_steps = 0;
+    }
+
+let run_query lab config q =
+  let key = (config_name config, q.Query.name) in
+  match Hashtbl.find_opt lab.cache key with
+  | Some m -> m
+  | None ->
+    let m =
+      match config with
+      | Default | Perfect _ | Perfect_all | Sampling_est _ | Robust _
+      | Adaptive ->
+        measure_plain lab config q
+      | Reopt thr | Perfect_reopt (_, thr) -> measure_reopt lab config q thr
+    in
+    Hashtbl.replace lab.cache key m;
+    m
+
+let run_workload lab config =
+  List.map (fun q -> run_query lab config q) lab.queries
+
+let total_exec_ms ms = List.fold_left (fun acc m -> acc +. m.m_exec_ms) 0.0 ms
+let total_plan_ms ms = List.fold_left (fun acc m -> acc +. m.m_plan_ms) 0.0 ms

@@ -1,0 +1,53 @@
+(** The experiment runner: one "lab" holds the generated database, the 113
+    bound queries, and caches — per-query prepared contexts (oracle +
+    search space) and per-(configuration, query) measurements — so the
+    experiment suite never repeats work across figures. *)
+
+module Query := Rdb_query.Query
+module Session := Rdb_core.Session
+
+type lab
+
+val create_lab :
+  ?seed:int -> ?scale:float -> ?work_budget:int -> ?deadline_ms:float ->
+  unit -> lab
+(** Generate the database (default scale 1.0, seed 42), ANALYZE it, and
+    bind the workload. [work_budget] (default [60_000_000] work units) and
+    [deadline_ms] (default 4s) cap catastrophic plan executions. *)
+
+val session : lab -> Session.t
+val queries : lab -> Query.t list
+val query : lab -> string -> Query.t
+val prepared_of : lab -> Query.t -> Session.prepared
+val scale : lab -> float
+
+type config =
+  | Default                        (** PostgreSQL-style estimates *)
+  | Perfect of int                 (** the paper's perfect-(n) *)
+  | Perfect_all                    (** perfect-(17): every estimate true *)
+  | Reopt of float                 (** re-optimization at a Q-error threshold *)
+  | Perfect_reopt of int * float   (** perfect-(n) plus re-optimization *)
+  | Sampling_est of int            (** index-based join sampling, given sample size *)
+  | Robust of float                (** Rio-style worst-case planning, given uncertainty *)
+  | Adaptive                       (** runtime operator switching (Cuttlefish-style) *)
+
+val config_name : config -> string
+
+type measurement = {
+  m_query : string;
+  m_rels : int;          (** relations in the query *)
+  m_plan_ms : float;     (** planning incl. re-planning *)
+  m_exec_ms : float;     (** execution incl. temp-table materialization *)
+  m_work : int;          (** deterministic work units *)
+  m_capped : bool;       (** work budget ran out (runaway plan) *)
+  m_steps : int;         (** re-optimization steps taken *)
+}
+
+val run_query : lab -> config -> Query.t -> measurement
+(** Plan and execute one query under a configuration; cached. *)
+
+val run_workload : lab -> config -> measurement list
+(** All 113 queries (cached per query). *)
+
+val total_exec_ms : measurement list -> float
+val total_plan_ms : measurement list -> float

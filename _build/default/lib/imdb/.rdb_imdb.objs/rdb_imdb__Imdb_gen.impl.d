@@ -1,0 +1,1 @@
+lib/imdb/imdb_gen.ml: Array Catalog Column Imdb_schema Int List Printf Rdb_util Schema String Table

@@ -1,0 +1,1 @@
+lib/imdb/imdb_gen.mli: Catalog

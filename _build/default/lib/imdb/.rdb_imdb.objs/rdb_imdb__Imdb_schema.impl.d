@@ -1,0 +1,1 @@
+lib/imdb/imdb_schema.ml: List Printf Schema Value

@@ -1,0 +1,1 @@
+lib/imdb/imdb_schema.mli: Schema

@@ -1,0 +1,1 @@
+lib/imdb/job_queries.ml: Char Hashtbl Int List Option Printf Rdb_query Rdb_sql String

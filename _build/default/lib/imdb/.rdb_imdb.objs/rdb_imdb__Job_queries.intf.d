@@ -1,0 +1,1 @@
+lib/imdb/job_queries.mli: Catalog Rdb_query

@@ -1,0 +1,396 @@
+module Prng = Rdb_util.Prng
+module Zipf = Rdb_util.Zipf
+
+type sizes = {
+  titles : int;
+  keywords : int;
+  names : int;
+  companies : int;
+  chars : int;
+  akas : int;
+  movie_keywords : int;
+  cast_infos : int;
+  movie_companies : int;
+  movie_infos : int;
+  movie_info_idxs : int;
+}
+
+let scaled scale base = Int.max 50 (int_of_float (float_of_int base *. scale))
+
+let sizes ~scale =
+  {
+    titles = scaled scale 12_000;
+    keywords = scaled scale 4_000;
+    names = scaled scale 25_000;
+    companies = scaled scale 4_000;
+    chars = scaled scale 15_000;
+    akas = scaled scale 10_000;
+    movie_keywords = scaled scale 60_000;
+    cast_infos = scaled scale 100_000;
+    movie_companies = scaled scale 25_000;
+    movie_infos = scaled scale 50_000;
+    movie_info_idxs = scaled scale 12_000;
+  }
+
+let letters = "abcdefghijklmnopqrstuvwxyz"
+
+(* ---- small fixed dimension tables ---- *)
+
+let dim_table name values =
+  let n = Array.length values in
+  Table.create ~name ~schema:(Imdb_schema.schema name)
+    [|
+      Column.Ints (Array.init n (fun i -> i + 1));
+      Column.Strs (Array.copy values);
+    |]
+
+let kind_type_table () = dim_table "kind_type" Imdb_schema.kind_names
+let role_type_table () = dim_table "role_type" Imdb_schema.role_names
+
+let company_type_table () =
+  dim_table "company_type" Imdb_schema.company_type_names
+
+let info_type_table () =
+  dim_table "info_type"
+    (Array.init Imdb_schema.n_info_types (fun i ->
+         Imdb_schema.info_type_name (i + 1)))
+
+(* ---- entity tables ---- *)
+
+(* Keyword ids interleave seven popularity-ordered groups:
+   id = rank * 7 + group + 1, so "kw_0".."kw_6" are the hottest keyword of
+   each group. The group correlates with the movie kind in movie_keyword. *)
+let keyword_table s =
+  let n = s.keywords in
+  Table.create ~name:"keyword" ~schema:(Imdb_schema.schema "keyword")
+    [|
+      Column.Ints (Array.init n (fun i -> i + 1));
+      Column.Strs (Array.init n (fun i -> Printf.sprintf "kw_%d" i));
+    |]
+
+(* Popular companies (low id) are overwhelmingly US: a correlation between
+   popularity and country invisible to per-column statistics. *)
+let company_table prng s =
+  let n = s.companies in
+  let codes =
+    [| "[de]"; "[fr]"; "[gb]"; "[it]"; "[jp]"; "[in]"; "[es]"; "[ca]"; "[au]"; "[se]"; "[nl]" |]
+  in
+  let country i =
+    if i <= n / 4 then if Prng.float prng 1.0 < 0.85 then "[us]" else codes.(i mod 11)
+    else if Prng.float prng 1.0 < 0.15 then "[us]"
+    else codes.(i mod 11)
+  in
+  Table.create ~name:"company_name" ~schema:(Imdb_schema.schema "company_name")
+    [|
+      Column.Ints (Array.init n (fun i -> i + 1));
+      Column.Strs
+        (Array.init n (fun i ->
+             Printf.sprintf "%cco_%d inc" letters.[i mod 26] (i + 1)));
+      Column.Strs (Array.init n (fun i -> country (i + 1)));
+    |]
+
+(* Planted substrings at controlled frequencies feed the LIKE
+   experiments: ~2% of names contain "Tim", ~2.3% contain "John". *)
+let person_name i =
+  let letter = letters.[i mod 26] in
+  let marker =
+    if i mod 50 = 7 then "Tim" else if i mod 43 = 11 then "John" else ""
+  in
+  Printf.sprintf "%c%s_person_%d" letter marker i
+
+let name_table prng s =
+  let n = s.names in
+  let gender _i = if Prng.float prng 1.0 < 0.45 then "f" else "m" in
+  Table.create ~name:"name" ~schema:(Imdb_schema.schema "name")
+    [|
+      Column.Ints (Array.init n (fun i -> i + 1));
+      Column.Strs (Array.init n (fun i -> person_name (i + 1)));
+      Column.Strs (Array.init n gender);
+    |]
+
+let char_table s =
+  let n = s.chars in
+  let char_name i =
+    let marker = if i mod 29 = 5 then "Man" else "" in
+    Printf.sprintf "%cchar_%s%d" letters.[i mod 26] marker i
+  in
+  Table.create ~name:"char_name" ~schema:(Imdb_schema.schema "char_name")
+    [|
+      Column.Ints (Array.init n (fun i -> i + 1));
+      Column.Strs (Array.init n (fun i -> char_name (i + 1)));
+    |]
+
+let aka_table prng s ~person_zipf =
+  let n = s.akas in
+  let person = Array.init n (fun _ -> Zipf.sample person_zipf prng + 1) in
+  Table.create ~name:"aka_name" ~schema:(Imdb_schema.schema "aka_name")
+    [|
+      Column.Ints (Array.init n (fun i -> i + 1));
+      Column.Ints person;
+      Column.Strs (Array.init n (fun i -> "aka_" ^ person_name (i + 1)));
+    |]
+
+(* Movie kinds are Zipf-skewed ("movie" dominates); production years skew
+   recent. Both feed correlated predicates downstream. *)
+let title_table prng s =
+  let n = s.titles in
+  let kind_zipf = Zipf.create ~n:7 ~s:0.9 in
+  let year_zipf = Zipf.create ~n:120 ~s:0.8 in
+  let kinds = Array.init n (fun _ -> Zipf.sample kind_zipf prng + 1) in
+  let years = Array.init n (fun _ -> 2019 - Zipf.sample year_zipf prng) in
+  let title i =
+    let marker =
+      if i mod 37 = 3 then "Dark" else if i mod 23 = 9 then "Love" else ""
+    in
+    Printf.sprintf "%c%s_film_%d" letters.[i mod 26] marker i
+  in
+  let table =
+    Table.create ~name:"title" ~schema:(Imdb_schema.schema "title")
+      [|
+        Column.Ints (Array.init n (fun i -> i + 1));
+        Column.Strs (Array.init n (fun i -> title (i + 1)));
+        Column.Ints kinds;
+        Column.Ints years;
+      |]
+  in
+  (table, kinds, years)
+
+(* ---- fact tables ---- *)
+
+(* ---- movie fan-out distribution ---- *)
+
+(* A bounded two-tier "blockbuster" distribution drives every fact table's
+   movie_id: 10% of movies (ids with [id mod 10 = 4]) receive [tier_weight]x
+   the row mass of the rest, in movie_keyword, cast_info, movie_companies,
+   movie_info and movie_info_idx alike. Because the same movies are heavy
+   everywhere, multi-fact join cardinalities exceed the independence
+   estimate by a factor that grows exponentially with the number of facts
+   joined — the paper's "errors increase exponentially with the number of
+   joins" (§IV), with bounded (non-Zipf) tails so true intermediates stay
+   finite. *)
+
+module Movie_dist = struct
+  type t = { titles : int; p_blockbuster_row : float }
+
+  let tier_weight = 6.0
+
+  let create titles =
+    let share = 0.1 *. tier_weight /. ((0.9 *. 1.0) +. (0.1 *. tier_weight)) in
+    { titles; p_blockbuster_row = share }
+
+  let is_blockbuster id = id mod 10 = 4
+
+  (* id in [1, titles] *)
+  let sample t prng =
+    if Prng.float prng 1.0 < t.p_blockbuster_row then begin
+      let n_block = t.titles / 10 in
+      if n_block = 0 then Prng.int_in prng 1 t.titles
+      else begin
+        let b = Prng.int prng n_block in
+        (10 * b) + 4
+      end
+    end
+    else begin
+      (* uniform over the 9-of-10 non-blockbuster ids *)
+      let decade_count = (t.titles + 9) / 10 in
+      let rec draw () =
+        let d = Prng.int prng decade_count in
+        let pos = Prng.int prng 9 in
+        let pos = if pos >= 3 then pos + 1 else pos in
+        let id = (10 * d) + pos + 1 in
+        if id > t.titles || is_blockbuster id then draw () else id
+      in
+      draw ()
+    end
+end
+
+
+
+let movie_keyword_table prng s ~movie_dist ~kinds =
+  let n = s.movie_keywords in
+  let n_groups = 7 in
+  let per_group = Int.max 1 (s.keywords / n_groups) in
+  let group_zipf = Zipf.create ~n:per_group ~s:1.1 in
+  let movie = Array.make n 0 and keyword = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let m = Movie_dist.sample movie_dist prng in
+    movie.(i) <- m;
+    let kind = kinds.(m - 1) in
+    let kw =
+      if Prng.float prng 1.0 < 0.8 then begin
+        (* keyword from the group matching the movie's kind *)
+        let g = (kind - 1) mod n_groups in
+        let rank = Zipf.sample group_zipf prng in
+        Int.min s.keywords ((rank * n_groups) + g + 1)
+      end
+      else Prng.int_in prng 1 s.keywords
+    in
+    keyword.(i) <- kw
+  done;
+  Table.create ~name:"movie_keyword" ~schema:(Imdb_schema.schema "movie_keyword")
+    [| Column.Ints (Array.init n (fun i -> i + 1)); Column.Ints movie; Column.Ints keyword |]
+
+(* The cast: person activity is heavily skewed (stars), and the role
+   correlates with the person's gender. ~12% of rows have no character. *)
+let cast_info_table prng s ~movie_dist ~person_zipf ~genders =
+  let n = s.cast_infos in
+  let movie = Array.make n 0
+  and person = Array.make n 0
+  and person_role = Array.make n 0
+  and role = Array.make n 0 in
+  for i = 0 to n - 1 do
+    movie.(i) <- Movie_dist.sample movie_dist prng;
+    let p = Zipf.sample person_zipf prng + 1 in
+    person.(i) <- p;
+    let female = genders.(p - 1) in
+    role.(i) <-
+      (if female then if Prng.float prng 1.0 < 0.8 then 2 else Prng.int_in prng 1 12
+       else if Prng.float prng 1.0 < 0.7 then 1
+       else Prng.int_in prng 1 12);
+    person_role.(i) <-
+      (if Prng.float prng 1.0 < 0.12 then Column.null_int
+       else Prng.int_in prng 1 s.chars)
+  done;
+  Table.create ~name:"cast_info" ~schema:(Imdb_schema.schema "cast_info")
+    [|
+      Column.Ints (Array.init n (fun i -> i + 1));
+      Column.Ints person;
+      Column.Ints movie;
+      Column.Ints person_role;
+      Column.Ints role;
+    |]
+
+let movie_companies_table prng s ~movie_dist =
+  let n = s.movie_companies in
+  let company_zipf = Zipf.create ~n:s.companies ~s:1.1 in
+  let movie = Array.make n 0 and company = Array.make n 0 and ctype = Array.make n 0 in
+  for i = 0 to n - 1 do
+    movie.(i) <- Movie_dist.sample movie_dist prng;
+    company.(i) <- Zipf.sample company_zipf prng + 1;
+    ctype.(i) <- (if Prng.float prng 1.0 < 0.9 then 1 else Prng.int_in prng 2 4)
+  done;
+  Table.create ~name:"movie_companies" ~schema:(Imdb_schema.schema "movie_companies")
+    [|
+      Column.Ints (Array.init n (fun i -> i + 1));
+      Column.Ints movie;
+      Column.Ints company;
+      Column.Ints ctype;
+    |]
+
+let genres =
+  [| "action"; "drama"; "comedy"; "thriller"; "romance"; "scifi"; "war";
+     "crime"; "fantasy"; "history"; "horror"; "music"; "mystery"; "sport";
+     "western"; "family"; "adventure"; "animation"; "biography"; "musical"; "news" |]
+
+(* info_type 1 (genres) correlates with the movie kind; info_type 2
+   (rating-class) correlates with the production year: join-crossing
+   correlations the estimator cannot see. *)
+let movie_info_table prng s ~movie_dist ~kinds ~years =
+  let n = s.movie_infos in
+  let value_zipf = Zipf.create ~n:50 ~s:1.0 in
+  let movie = Array.make n 0 and itype = Array.make n 0 in
+  let info = Array.make n "" in
+  for i = 0 to n - 1 do
+    let m = Movie_dist.sample movie_dist prng in
+    movie.(i) <- m;
+    let it = Prng.int_in prng 1 (Imdb_schema.n_info_types - 2) in
+    itype.(i) <- it;
+    info.(i) <-
+      (match it with
+       | 1 ->
+         let kind = kinds.(m - 1) in
+         if Prng.float prng 1.0 < 0.8 then genres.(((kind - 1) * 3) mod 21)
+         else genres.(Prng.int prng 21)
+       | 2 ->
+         let year = years.(m - 1) in
+         if Prng.float prng 1.0 < 0.9 then
+           if year >= 2000 then "new"
+           else if year >= 1980 then "modern"
+           else if year >= 1950 then "golden"
+           else "classic"
+         else Prng.choose prng [| "new"; "modern"; "golden"; "classic" |]
+       | _ -> Printf.sprintf "v%d_%d" it (Zipf.sample value_zipf prng))
+  done;
+  Table.create ~name:"movie_info" ~schema:(Imdb_schema.schema "movie_info")
+    [|
+      Column.Ints (Array.init n (fun i -> i + 1));
+      Column.Ints movie;
+      Column.Ints itype;
+      Column.Strs info;
+    |]
+
+(* movie_info_idx holds ratings/votes whose value correlates with the
+   movie's popularity rank (popular movies rate higher and gather more
+   votes). *)
+let movie_info_idx_table prng s ~movie_dist =
+  let n = s.movie_info_idxs in
+  let movie = Array.make n 0 and itype = Array.make n 0 in
+  let info = Array.make n "" in
+  for i = 0 to n - 1 do
+    let m = Movie_dist.sample movie_dist prng in
+    movie.(i) <- m;
+    (* Ratings and vote buckets correlate with the blockbuster tier:
+       selecting 'r9' rows selects the movies that are heavy in every other
+       fact table. *)
+    let level base =
+      let noise = Prng.int_in prng (-1) 1 in
+      Int.max 0 (Int.min 9 (base + noise))
+    in
+    let base =
+      if Movie_dist.is_blockbuster m then 9 else Prng.int_in prng 0 7
+    in
+    if Prng.float prng 1.0 < 0.6 then begin
+      itype.(i) <- Imdb_schema.n_info_types - 1;
+      info.(i) <- Printf.sprintf "r%d" (level base)
+    end
+    else begin
+      itype.(i) <- Imdb_schema.n_info_types;
+      info.(i) <- Printf.sprintf "v%d" (level base)
+    end
+  done;
+  Table.create ~name:"movie_info_idx" ~schema:(Imdb_schema.schema "movie_info_idx")
+    [|
+      Column.Ints (Array.init n (fun i -> i + 1));
+      Column.Ints movie;
+      Column.Ints itype;
+      Column.Strs info;
+    |]
+
+let generate ?(seed = 42) ~scale () =
+  let s = sizes ~scale in
+  let root = Prng.create seed in
+  let movie_dist = Movie_dist.create s.titles in
+  let person_zipf = Zipf.create ~n:s.names ~s:0.5 in
+  let catalog = Catalog.create () in
+  let add t = Catalog.add_table catalog t in
+  add (kind_type_table ());
+  add (role_type_table ());
+  add (company_type_table ());
+  add (info_type_table ());
+  add (keyword_table s);
+  add (company_table (Prng.split root) s);
+  let name_tbl = name_table (Prng.split root) s in
+  add name_tbl;
+  let genders =
+    Array.init s.names (fun i ->
+        Column.get_str (Table.column name_tbl 2) i = "f")
+  in
+  add (char_table s);
+  add (aka_table (Prng.split root) s ~person_zipf);
+  let title_tbl, kinds, years = title_table (Prng.split root) s in
+  add title_tbl;
+  add (movie_keyword_table (Prng.split root) s ~movie_dist ~kinds);
+  add (cast_info_table (Prng.split root) s ~movie_dist ~person_zipf ~genders);
+  add (movie_companies_table (Prng.split root) s ~movie_dist);
+  add (movie_info_table (Prng.split root) s ~movie_dist ~kinds ~years);
+  add (movie_info_idx_table (Prng.split root) s ~movie_dist);
+  List.iter
+    (fun (name, _) ->
+      let schema = Table.schema (Catalog.table_exn catalog name) in
+      List.iter
+        (fun col_name ->
+          Catalog.add_index catalog ~table:name
+            ~col:(Schema.find_exn schema col_name))
+        (Imdb_schema.indexed_columns name))
+    Imdb_schema.tables;
+  catalog

@@ -1,0 +1,40 @@
+(** Deterministic generator for the synthetic IMDB database.
+
+    The generator plants exactly the estimation hazards the paper blames
+    for bad plans (§IV):
+
+    - {b Skew}: keyword, company, person and movie popularity follow Zipf
+      distributions, so equality predicates on frequent values blow
+      through the uniformity assumption across joins (the Nasdaq example).
+    - {b Join-crossing correlation}: keywords cluster on the movie kind
+      their group matches; genres and rating classes depend on the movie's
+      kind and year; company country depends on company popularity; cast
+      role depends on the person's gender. None of these are visible to
+      single-column statistics.
+    - {b Pattern predicates}: names and titles carry planted substrings at
+      controlled frequencies, so LIKE selectivities default to guesses.
+
+    All randomness flows from the seed; equal seeds produce identical
+    catalogs. *)
+
+type sizes = {
+  titles : int;
+  keywords : int;
+  names : int;
+  companies : int;
+  chars : int;
+  akas : int;
+  movie_keywords : int;
+  cast_infos : int;
+  movie_companies : int;
+  movie_infos : int;
+  movie_info_idxs : int;
+}
+
+val sizes : scale:float -> sizes
+(** Row counts at a scale factor; [scale = 1.0] is the default benchmark
+    size (fact tables 12k-100k rows — the whole point of the paper holds at
+    laptop scale because only relative plan quality matters). *)
+
+val generate : ?seed:int -> scale:float -> unit -> Catalog.t
+(** Build all fifteen tables and their hash indexes. *)

@@ -1,0 +1,78 @@
+let int name = { Schema.name; ty = Value.Ty_int }
+let str name = { Schema.name; ty = Value.Ty_str }
+
+let tables =
+  [
+    ("kind_type", Schema.make [ int "id"; str "kind" ]);
+    ("info_type", Schema.make [ int "id"; str "info" ]);
+    ("company_type", Schema.make [ int "id"; str "kind" ]);
+    ("role_type", Schema.make [ int "id"; str "role" ]);
+    ("keyword", Schema.make [ int "id"; str "keyword" ]);
+    ("company_name", Schema.make [ int "id"; str "name"; str "country_code" ]);
+    ("name", Schema.make [ int "id"; str "name"; str "gender" ]);
+    ("char_name", Schema.make [ int "id"; str "name" ]);
+    ("aka_name", Schema.make [ int "id"; int "person_id"; str "name" ]);
+    ( "title",
+      Schema.make [ int "id"; str "title"; int "kind_id"; int "production_year" ] );
+    ("movie_keyword", Schema.make [ int "id"; int "movie_id"; int "keyword_id" ]);
+    ( "movie_companies",
+      Schema.make [ int "id"; int "movie_id"; int "company_id"; int "company_type_id" ] );
+    ( "cast_info",
+      Schema.make
+        [ int "id"; int "person_id"; int "movie_id"; int "person_role_id"; int "role_id" ] );
+    ( "movie_info",
+      Schema.make [ int "id"; int "movie_id"; int "info_type_id"; str "info" ] );
+    ( "movie_info_idx",
+      Schema.make [ int "id"; int "movie_id"; int "info_type_id"; str "info" ] );
+  ]
+
+let schema name =
+  match List.assoc_opt name tables with
+  | Some s -> s
+  | None -> invalid_arg ("Imdb_schema.schema: unknown table " ^ name)
+
+let indexed_columns name =
+  let all =
+    [
+      ("kind_type", [ "id" ]);
+      ("info_type", [ "id" ]);
+      ("company_type", [ "id" ]);
+      ("role_type", [ "id" ]);
+      ("keyword", [ "id" ]);
+      ("company_name", [ "id" ]);
+      ("name", [ "id" ]);
+      ("char_name", [ "id" ]);
+      ("aka_name", [ "id"; "person_id" ]);
+      ("title", [ "id"; "kind_id" ]);
+      ("movie_keyword", [ "id"; "movie_id"; "keyword_id" ]);
+      ("movie_companies", [ "id"; "movie_id"; "company_id"; "company_type_id" ]);
+      ("cast_info", [ "id"; "person_id"; "movie_id"; "person_role_id"; "role_id" ]);
+      ("movie_info", [ "id"; "movie_id"; "info_type_id" ]);
+      ("movie_info_idx", [ "id"; "movie_id"; "info_type_id" ]);
+    ]
+  in
+  match List.assoc_opt name all with
+  | Some cols -> cols
+  | None -> invalid_arg ("Imdb_schema.indexed_columns: unknown table " ^ name)
+
+let kind_names =
+  [| "movie"; "tv_series"; "episode"; "video"; "short"; "documentary"; "video_game" |]
+
+let role_names =
+  [| "actor"; "actress"; "producer"; "writer"; "cinematographer"; "composer";
+     "costume_designer"; "director"; "editor"; "miscellaneous"; "production_designer";
+     "guest" |]
+
+let company_type_names =
+  [| "production_companies"; "distributors"; "special_effects"; "miscellaneous" |]
+
+let n_info_types = 40
+
+let info_type_name id =
+  match id with
+  | 1 -> "genres"
+  | 2 -> "rating-class"
+  | 39 -> "rating"
+  | 40 -> "votes"
+  | i when i >= 1 && i <= n_info_types -> Printf.sprintf "info_%d" i
+  | i -> invalid_arg (Printf.sprintf "info_type_name: %d" i)

@@ -1,0 +1,29 @@
+(** The synthetic IMDB-like schema: the table shapes of the Join Order
+    Benchmark's database, scaled down. Dimension tables (kind_type,
+    info_type, company_type, role_type) are fixed-size; entity and fact
+    tables scale with the generator's scale factor. *)
+
+val tables : (string * Schema.t) list
+(** All table schemas, keyed by name. *)
+
+val schema : string -> Schema.t
+(** Raises [Invalid_argument] for unknown names. *)
+
+val indexed_columns : string -> string list
+(** Column names that receive hash indexes: every surrogate id and foreign
+    key, mirroring the paper's "we add foreign key indexes" setup. *)
+
+val kind_names : string array
+(** The seven title kinds; index = kind_id - 1. *)
+
+val role_names : string array
+(** The twelve cast roles; index = role_id - 1. *)
+
+val company_type_names : string array
+
+val n_info_types : int
+(** Number of info_type rows. The last two ids are reserved for
+    movie_info_idx ("rating", "votes"); 1 is "genres", 2 is
+    "rating-class". *)
+
+val info_type_name : int -> string

@@ -1,0 +1,635 @@
+module Query = Rdb_query.Query
+module Binder = Rdb_sql.Binder
+module Parser = Rdb_sql.Parser
+
+(* ---- table alias fragments ---- *)
+
+let t_t = "title AS t"
+let t_mk = "movie_keyword AS mk"
+let t_mk2 = "movie_keyword AS mk2"
+let t_k = "keyword AS k"
+let t_k2 = "keyword AS k2"
+let t_ci = "cast_info AS ci"
+let t_n = "name AS n"
+let t_an = "aka_name AS an"
+let t_rt = "role_type AS rt"
+let t_chn = "char_name AS chn"
+let t_mc = "movie_companies AS mc"
+let t_cn = "company_name AS cn"
+let t_ct = "company_type AS ct"
+let t_kt = "kind_type AS kt"
+let t_mi = "movie_info AS mi"
+let t_it1 = "info_type AS it1"
+let t_midx = "movie_info_idx AS mi_idx"
+let t_it2 = "info_type AS it2"
+
+(* ---- join condition fragments ---- *)
+
+let j_mk = [ "mk.movie_id = t.id"; "mk.keyword_id = k.id" ]
+let j_mk2 = [ "mk2.movie_id = t.id"; "mk2.keyword_id = k2.id" ]
+let j_ci = [ "ci.movie_id = t.id"; "ci.person_id = n.id" ]
+let j_rt = [ "ci.role_id = rt.id" ]
+let j_chn = [ "ci.person_role_id = chn.id" ]
+let j_an = [ "an.person_id = n.id" ]
+let j_mc = [ "mc.movie_id = t.id"; "mc.company_id = cn.id" ]
+let j_ct = [ "mc.company_type_id = ct.id" ]
+let j_kt = [ "t.kind_id = kt.id" ]
+let j_mi = [ "mi.movie_id = t.id"; "mi.info_type_id = it1.id" ]
+let j_midx = [ "mi_idx.movie_id = t.id"; "mi_idx.info_type_id = it2.id" ]
+
+(* Redundant transitive equalities, as JOB queries spell them out; they
+   make the join graphs cyclic. *)
+let r_ci_mk = [ "ci.movie_id = mk.movie_id" ]
+let r_ci_mc = [ "ci.movie_id = mc.movie_id" ]
+let r_mc_mk = [ "mc.movie_id = mk.movie_id" ]
+let r_mi_midx = [ "mi.movie_id = mi_idx.movie_id" ]
+
+type family = {
+  num : string;
+  select : string;
+  from : string list;
+  joins : string list;
+  variants : string list list;
+}
+
+let families =
+  [
+    (* 4 tables: 1 family x 3 variants *)
+    {
+      num = "1";
+      select = "MIN(t.title)";
+      from = [ t_t; t_mk; t_k; t_kt ];
+      joins = j_mk @ j_kt;
+      variants =
+        [
+          [ "k.keyword = 'kw_0'"; "kt.kind = 'movie'" ];
+          [ "k.keyword = 'kw_349'"; "kt.kind = 'movie'" ];
+          [ "k.keyword IN ('kw_0', 'kw_1', 'kw_2')"; "kt.kind = 'episode'" ];
+        ];
+    };
+    (* 5 tables: 5 families x 4 variants = 20 *)
+    {
+      num = "2";
+      select = "MIN(t.title)";
+      from = [ t_t; t_mi; t_it1; t_mk; t_k ];
+      joins = j_mi @ j_mk;
+      variants =
+        [
+          [ "it1.info = 'genres'"; "mi.info = 'action'"; "k.keyword = 'kw_0'" ];
+          [ "it1.info = 'rating-class'"; "mi.info = 'new'";
+            "t.production_year > 2005" ];
+          [ "it1.info = 'rating-class'"; "mi.info = 'classic'";
+            "t.production_year > 2005" ];
+          [ "it1.info = 'info_7'"; "mi.info = 'v7_0'"; "k.keyword = 'kw_14'" ];
+        ];
+    };
+    {
+      num = "3";
+      select = "MIN(t.title), MIN(cn.name)";
+      from = [ t_t; t_mc; t_cn; t_ct; t_kt ];
+      joins = j_mc @ j_ct @ j_kt;
+      variants =
+        [
+          [ "cn.country_code = '[us]'"; "ct.kind = 'production_companies'";
+            "kt.kind = 'movie'" ];
+          [ "cn.country_code = '[de]'"; "ct.kind = 'distributors'";
+            "kt.kind = 'movie'" ];
+          [ "cn.name LIKE 'a%'"; "ct.kind = 'production_companies'";
+            "kt.kind = 'short'" ];
+          [ "cn.country_code = '[us]'"; "ct.kind = 'production_companies'";
+            "kt.kind = 'documentary'"; "t.production_year > 2000" ];
+        ];
+    };
+    {
+      num = "4";
+      select = "MIN(n.name), MIN(t.title)";
+      from = [ t_t; t_ci; t_n; t_rt; t_chn ];
+      joins = j_ci @ j_rt @ j_chn;
+      variants =
+        [
+          [ "n.gender = 'f'"; "rt.role = 'actress'" ];
+          [ "n.gender = 'm'"; "rt.role = 'actress'" ];
+          [ "n.name LIKE '%Tim%'"; "rt.role = 'director'" ];
+          [ "chn.name LIKE '%Man%'"; "n.gender = 'f'"; "rt.role = 'actress'" ];
+        ];
+    };
+    {
+      num = "5";
+      select = "MIN(t.title)";
+      from = [ t_t; t_midx; t_it2; t_mc; t_cn ];
+      joins = j_midx @ j_mc;
+      variants =
+        [
+          [ "it2.info = 'rating'"; "mi_idx.info = 'r9'";
+            "cn.country_code = '[us]'" ];
+          [ "it2.info = 'rating'"; "mi_idx.info = 'r0'";
+            "cn.country_code = '[us]'" ];
+          [ "it2.info = 'votes'"; "mi_idx.info = 'v9'";
+            "cn.country_code = '[de]'" ];
+          [ "it2.info = 'rating'"; "mi_idx.info = 'r9'"; "cn.name LIKE 'b%'" ];
+        ];
+    };
+    {
+      num = "6";
+      select = "MIN(t.title), MIN(n.name)";
+      from = [ t_t; t_mk; t_k; t_ci; t_n ];
+      joins = j_mk @ j_ci @ r_ci_mk;
+      variants =
+        [
+          [ "k.keyword = 'kw_313'"; "n.name LIKE 'a%'" ];
+          [ "k.keyword = 'kw_3'"; "n.gender = 'f'" ];
+          [ "k.keyword IN ('kw_7', 'kw_8')"; "n.name LIKE '%John%'" ];
+          (* 6d: the paper's deep dive — a frequent keyword under the
+             uniformity assumption, plus a prefix name predicate. *)
+          [ "k.keyword = 'kw_0'"; "n.name LIKE 'x%'" ];
+        ];
+    };
+    (* 6 tables: 1 family x 2 variants *)
+    {
+      num = "7";
+      select = "MIN(t.title), MIN(cn.name)";
+      from = [ t_t; t_mk; t_k; t_mc; t_cn; t_ct ];
+      joins = j_mk @ j_mc @ j_ct @ r_mc_mk;
+      variants =
+        [
+          [ "k.keyword = 'kw_0'"; "cn.country_code = '[us]'";
+            "ct.kind = 'production_companies'" ];
+          [ "k.keyword = 'kw_200'"; "cn.country_code = '[de]'";
+            "ct.kind = 'distributors'" ];
+        ];
+    };
+    (* 7 tables: 4 families x 4 variants = 16 *)
+    {
+      num = "8";
+      select = "MIN(n.name), MIN(t.title)";
+      from = [ t_t; t_ci; t_n; t_mk; t_k; t_rt; t_kt ];
+      joins = j_ci @ j_mk @ j_rt @ j_kt @ r_ci_mk;
+      variants =
+        [
+          [ "k.keyword = 'kw_0'"; "n.gender = 'f'"; "rt.role = 'actress'";
+            "kt.kind = 'movie'" ];
+          [ "k.keyword = 'kw_5'"; "rt.role = 'director'";
+            "kt.kind = 'tv_series'" ];
+          [ "n.name LIKE '%Tim%'"; "k.keyword IN ('kw_0', 'kw_6')";
+            "rt.role = 'actor'"; "kt.kind = 'movie'" ];
+          [ "k.keyword = 'kw_347'"; "n.gender = 'm'"; "rt.role = 'actor'";
+            "kt.kind = 'movie'" ];
+        ];
+    };
+    {
+      num = "10";
+      select = "MIN(t.title)";
+      from = [ t_t; t_mi; t_it1; t_midx; t_it2; t_mk; t_k ];
+      joins = j_mi @ j_midx @ j_mk @ r_mi_midx;
+      variants =
+        [
+          [ "it1.info = 'rating-class'"; "mi.info = 'new'";
+            "it2.info = 'rating'"; "mi_idx.info = 'r9'"; "k.keyword = 'kw_0'" ];
+          [ "it1.info = 'genres'"; "mi.info = 'drama'"; "it2.info = 'votes'";
+            "mi_idx.info = 'v9'"; "k.keyword = 'kw_1'" ];
+          [ "it1.info = 'rating-class'"; "mi.info = 'classic'";
+            "it2.info = 'rating'"; "mi_idx.info = 'r9'";
+            "t.production_year > 2000" ];
+          [ "it1.info = 'info_12'"; "mi.info = 'v12_1'"; "it2.info = 'rating'";
+            "mi_idx.info = 'r5'"; "k.keyword = 'kw_50'" ];
+        ];
+    };
+    {
+      num = "11";
+      select = "MIN(n.name), MIN(an.name)";
+      from = [ t_t; t_ci; t_n; t_an; t_rt; t_chn; t_kt ];
+      joins = j_ci @ j_an @ j_rt @ j_chn @ j_kt;
+      variants =
+        [
+          [ "an.name LIKE '%John%'"; "n.gender = 'm'"; "rt.role = 'actor'";
+            "kt.kind = 'movie'" ];
+          [ "an.name LIKE '%Tim%'"; "rt.role = 'director'"; "kt.kind = 'movie'" ];
+          [ "n.name LIKE 'b%'"; "chn.name LIKE '%Man%'"; "rt.role = 'actress'";
+            "n.gender = 'f'"; "kt.kind = 'episode'" ];
+          [ "an.name LIKE 'aka_a%'"; "rt.role = 'producer'";
+            "kt.kind = 'documentary'" ];
+        ];
+    };
+    {
+      num = "18";
+      select = "MIN(n.name), MIN(t.title)";
+      from = [ t_t; t_ci; t_n; t_mi; t_midx; t_it1; t_it2 ];
+      joins = j_ci @ j_mi @ j_midx @ r_mi_midx;
+      variants =
+        [
+          (* 18a: the paper's deep dive — gender + LIKE on name, two
+             info_type dimensions whose join sizes are underestimated. *)
+          [ "n.gender = 'm'"; "n.name LIKE '%Tim%'";
+            "it1.info = 'rating-class'"; "it2.info = 'rating'" ];
+          [ "n.gender = 'f'"; "it1.info = 'genres'"; "mi.info = 'romance'";
+            "it2.info = 'votes'"; "mi_idx.info = 'v9'" ];
+          [ "n.name LIKE '%John%'"; "it1.info = 'rating-class'";
+            "mi.info = 'new'"; "it2.info = 'rating'"; "mi_idx.info = 'r9'" ];
+          [ "it1.info = 'info_20'"; "mi.info = 'v20_0'"; "it2.info = 'rating'";
+            "mi_idx.info = 'r9'"; "n.gender = 'f'" ];
+        ];
+    };
+    (* 8 tables: 4 families x 4 + 1 family x 5 = 21 *)
+    {
+      num = "12";
+      select = "MIN(t.title), MIN(cn.name)";
+      from = [ t_t; t_ci; t_n; t_mk; t_k; t_mc; t_cn; t_ct ];
+      joins = j_ci @ j_mk @ j_mc @ j_ct @ r_ci_mc @ r_ci_mk @ r_mc_mk;
+      variants =
+        [
+          [ "k.keyword = 'kw_0'"; "cn.country_code = '[us]'"; "n.gender = 'f'" ];
+          [ "k.keyword = 'kw_4'"; "ct.kind = 'production_companies'";
+            "n.name LIKE '%Tim%'" ];
+          [ "k.keyword = 'kw_341'"; "cn.country_code = '[it]'";
+            "ct.kind = 'distributors'" ];
+          [ "k.keyword IN ('kw_0', 'kw_1')"; "cn.country_code = '[us]'";
+            "ct.kind = 'production_companies'"; "t.production_year > 2010" ];
+        ];
+    };
+    {
+      num = "13";
+      select = "MIN(t.title)";
+      from = [ t_t; t_mi; t_midx; t_it1; t_it2; t_kt; t_mk; t_k ];
+      joins = j_mi @ j_midx @ j_kt @ j_mk @ r_mi_midx;
+      variants =
+        [
+          [ "kt.kind = 'movie'"; "it1.info = 'genres'"; "mi.info = 'action'";
+            "it2.info = 'rating'"; "mi_idx.info = 'r9'"; "k.keyword = 'kw_0'" ];
+          [ "kt.kind = 'documentary'"; "it1.info = 'genres'";
+            "mi.info = 'action'"; "it2.info = 'rating'"; "mi_idx.info = 'r9'" ];
+          [ "kt.kind = 'movie'"; "it1.info = 'rating-class'";
+            "mi.info = 'golden'"; "it2.info = 'votes'"; "mi_idx.info = 'v0'";
+            "t.production_year BETWEEN 1950 AND 1979" ];
+          [ "kt.kind = 'tv_series'"; "it1.info = 'info_5'";
+            "it2.info = 'rating'"; "k.keyword = 'kw_8'" ];
+        ];
+    };
+    {
+      num = "14";
+      select = "MIN(n.name), MIN(cn.name)";
+      from = [ t_t; t_ci; t_n; t_rt; t_chn; t_mc; t_cn; t_ct ];
+      joins = j_ci @ j_rt @ j_chn @ j_mc @ j_ct @ r_ci_mc;
+      variants =
+        [
+          [ "rt.role = 'actress'"; "n.gender = 'f'";
+            "cn.country_code = '[us]'"; "ct.kind = 'production_companies'" ];
+          [ "rt.role = 'actor'"; "chn.name LIKE '%Man%'";
+            "cn.country_code = '[us]'" ];
+          [ "rt.role = 'writer'"; "n.name LIKE 'c%'"; "ct.kind = 'distributors'" ];
+          [ "rt.role = 'actress'"; "n.gender = 'm'"; "cn.country_code = '[gb]'" ];
+        ];
+    };
+    {
+      num = "15";
+      select = "MIN(t.title)";
+      from = [ t_t; t_mk; t_k; t_mi; t_it1; t_mc; t_cn; t_kt ];
+      joins = j_mk @ j_mi @ j_mc @ j_kt @ r_mc_mk;
+      variants =
+        [
+          [ "k.keyword = 'kw_0'"; "kt.kind = 'movie'"; "it1.info = 'genres'";
+            "mi.info = 'action'"; "cn.country_code = '[us]'" ];
+          [ "k.keyword = 'kw_70'"; "kt.kind = 'video'";
+            "it1.info = 'rating-class'"; "mi.info = 'new'" ];
+          [ "k.keyword = 'kw_1'"; "kt.kind = 'tv_series'";
+            "it1.info = 'genres'"; "mi.info = 'drama'";
+            "cn.country_code = '[jp]'" ];
+          [ "t.title LIKE '%Dark%'"; "k.keyword = 'kw_0'";
+            "it1.info = 'rating-class'"; "mi.info = 'new'"; "kt.kind = 'movie'" ];
+        ];
+    };
+    {
+      num = "16";
+      select = "MIN(an.name), MIN(t.title)";
+      from = [ t_t; t_ci; t_n; t_an; t_mk; t_k; t_mc; t_cn ];
+      joins = j_ci @ j_an @ j_mk @ j_mc @ r_ci_mc @ r_ci_mk @ r_mc_mk;
+      variants =
+        [
+          [ "k.keyword = 'kw_9'"; "n.name LIKE 'a%'" ];
+          (* 16b: the paper's Fig. 5 worst case — 24 estimate corrections
+             before a good plan. Hot keyword + selective name prefix. *)
+          [ "k.keyword = 'kw_0'"; "n.name LIKE 'x%'";
+            "cn.country_code = '[us]'" ];
+          [ "k.keyword = 'kw_40'"; "cn.country_code = '[fr]'" ];
+          [ "k.keyword IN ('kw_0', 'kw_2')"; "n.gender = 'f'" ];
+          [ "k.keyword = 'kw_339'"; "n.name LIKE '%John%'";
+            "cn.country_code = '[us]'" ];
+        ];
+    };
+    (* 9 tables: 5 + 5 + 4 = 14 *)
+    {
+      num = "17";
+      select = "MIN(n.name), MIN(t.title)";
+      from = [ t_t; t_ci; t_n; t_rt; t_chn; t_mk; t_k; t_mc; t_cn ];
+      joins = j_ci @ j_rt @ j_chn @ j_mk @ j_mc @ r_ci_mk @ r_ci_mc;
+      variants =
+        [
+          [ "k.keyword = 'kw_0'"; "rt.role = 'actress'"; "n.gender = 'f'";
+            "cn.country_code = '[us]'" ];
+          [ "k.keyword = 'kw_13'"; "rt.role = 'actor'";
+            "chn.name LIKE '%Man%'" ];
+          [ "k.keyword = 'kw_317'"; "rt.role = 'director'";
+            "cn.country_code = '[de]'" ];
+          [ "n.name LIKE '%Tim%'"; "k.keyword = 'kw_1'"; "rt.role = 'actor'" ];
+          [ "k.keyword = 'kw_0'"; "rt.role = 'actress'"; "n.gender = 'm'";
+            "cn.country_code = '[us]'" ];
+        ];
+    };
+    {
+      num = "19";
+      select = "MIN(t.title)";
+      from = [ t_t; t_mi; t_midx; t_it1; t_it2; t_mk; t_k; t_mc; t_cn ];
+      joins = j_mi @ j_midx @ j_mk @ j_mc @ r_mi_midx @ r_mc_mk;
+      variants =
+        [
+          [ "it1.info = 'genres'"; "mi.info = 'action'"; "it2.info = 'rating'";
+            "mi_idx.info = 'r9'"; "k.keyword = 'kw_0'";
+            "cn.country_code = '[us]'" ];
+          [ "it1.info = 'rating-class'"; "mi.info = 'new'";
+            "it2.info = 'votes'"; "mi_idx.info = 'v9'";
+            "t.production_year > 2005" ];
+          [ "it1.info = 'rating-class'"; "mi.info = 'classic'";
+            "it2.info = 'rating'"; "mi_idx.info = 'r9'";
+            "t.production_year > 2005"; "k.keyword = 'kw_3'" ];
+          [ "it1.info = 'info_9'"; "it2.info = 'rating'";
+            "k.keyword = 'kw_100'"; "cn.country_code = '[gb]'" ];
+          [ "it1.info = 'genres'"; "mi.info = 'comedy'"; "it2.info = 'rating'";
+            "mi_idx.info = 'r8'"; "cn.country_code = '[us]'";
+            "k.keyword = 'kw_2'" ];
+        ];
+    };
+    {
+      num = "21";
+      select = "MIN(an.name), MIN(t.title)";
+      from = [ t_t; t_ci; t_n; t_an; t_mi; t_it1; t_mc; t_cn; t_ct ];
+      joins = j_ci @ j_an @ j_mi @ j_mc @ j_ct @ r_ci_mc;
+      variants =
+        [
+          [ "an.name LIKE '%John%'"; "it1.info = 'genres'"; "mi.info = 'drama'";
+            "cn.country_code = '[us]'" ];
+          [ "n.gender = 'f'"; "it1.info = 'rating-class'"; "mi.info = 'new'";
+            "ct.kind = 'production_companies'" ];
+          [ "an.name LIKE '%Tim%'"; "it1.info = 'rating-class'";
+            "mi.info = 'classic'"; "t.production_year > 2000" ];
+          [ "n.name LIKE 'd%'"; "it1.info = 'info_3'";
+            "cn.country_code = '[ca]'"; "ct.kind = 'distributors'" ];
+        ];
+    };
+    (* 10 tables: 4 + 3 = 7 *)
+    {
+      num = "30";
+      select = "MIN(n.name), MIN(t.title)";
+      from = [ t_t; t_ci; t_n; t_rt; t_chn; t_mk; t_k; t_mc; t_cn; t_ct ];
+      joins =
+        j_ci @ j_rt @ j_chn @ j_mk @ j_mc @ j_ct @ r_ci_mk @ r_ci_mc @ r_mc_mk;
+      variants =
+        [
+          (* 30a: Fig. 5 — a few corrections find a good plan, further
+             "improvement" makes it worse. *)
+          [ "k.keyword = 'kw_0'"; "n.gender = 'm'"; "rt.role = 'actor'";
+            "cn.country_code = '[us]'"; "ct.kind = 'production_companies'" ];
+          [ "k.keyword = 'kw_6'"; "rt.role = 'actress'"; "n.gender = 'f'";
+            "cn.country_code = '[us]'" ];
+          [ "k.keyword = 'kw_337'"; "rt.role = 'producer'";
+            "ct.kind = 'distributors'" ];
+          [ "chn.name LIKE '%Man%'"; "k.keyword = 'kw_0'"; "rt.role = 'actor'";
+            "cn.country_code = '[us]'" ];
+        ];
+    };
+    {
+      num = "25";
+      select = "MIN(n.name), MIN(t.title)";
+      from = [ t_t; t_ci; t_n; t_mi; t_midx; t_it1; t_it2; t_mk; t_k; t_kt ];
+      joins = j_ci @ j_mi @ j_midx @ j_mk @ j_kt @ r_mi_midx @ r_ci_mk;
+      variants =
+        [
+          [ "k.keyword = 'kw_12'"; "it1.info = 'genres'"; "mi.info = 'horror'";
+            "it2.info = 'rating'"; "n.gender = 'm'" ];
+          [ "k.keyword = 'kw_0'"; "it1.info = 'rating-class'";
+            "mi.info = 'new'"; "it2.info = 'votes'"; "mi_idx.info = 'v9'";
+            "kt.kind = 'movie'" ];
+          (* 25c: Fig. 5 — hot keyword, correlated genre, rating and LIKE. *)
+          [ "k.keyword = 'kw_0'"; "it1.info = 'genres'"; "mi.info = 'action'";
+            "it2.info = 'rating'"; "mi_idx.info = 'r9'";
+            "n.name LIKE '%Tim%'"; "kt.kind = 'movie'" ];
+        ];
+    };
+    (* 11 tables: 5 + 5 = 10 *)
+    {
+      num = "22";
+      select = "MIN(n.name), MIN(t.title)";
+      from = [ t_t; t_ci; t_n; t_rt; t_chn; t_mk; t_k; t_mc; t_cn; t_ct; t_kt ];
+      joins =
+        j_ci @ j_rt @ j_chn @ j_mk @ j_mc @ j_ct @ j_kt @ r_ci_mk @ r_ci_mc
+        @ r_mc_mk;
+      variants =
+        [
+          [ "k.keyword = 'kw_0'"; "kt.kind = 'movie'"; "rt.role = 'actress'";
+            "n.gender = 'f'"; "cn.country_code = '[us]'";
+            "ct.kind = 'production_companies'" ];
+          [ "k.keyword = 'kw_25'"; "kt.kind = 'tv_series'"; "rt.role = 'actor'" ];
+          [ "k.keyword = 'kw_343'"; "kt.kind = 'movie'"; "rt.role = 'director'";
+            "cn.country_code = '[fr]'" ];
+          [ "n.name LIKE '%John%'"; "k.keyword = 'kw_2'"; "kt.kind = 'movie'";
+            "ct.kind = 'production_companies'" ];
+          [ "k.keyword = 'kw_0'"; "kt.kind = 'video_game'"; "rt.role = 'actor'";
+            "cn.country_code = '[us]'" ];
+        ];
+    };
+    {
+      num = "23";
+      select = "MIN(t.title)";
+      from = [ t_t; t_mi; t_midx; t_it1; t_it2; t_mk; t_k; t_mc; t_cn; t_ct; t_kt ];
+      joins = j_mi @ j_midx @ j_mk @ j_mc @ j_ct @ j_kt @ r_mi_midx @ r_mc_mk;
+      variants =
+        [
+          [ "it1.info = 'genres'"; "mi.info = 'action'"; "it2.info = 'rating'";
+            "mi_idx.info = 'r9'"; "k.keyword = 'kw_0'"; "kt.kind = 'movie'";
+            "cn.country_code = '[us]'" ];
+          [ "it1.info = 'rating-class'"; "mi.info = 'modern'";
+            "it2.info = 'votes'"; "mi_idx.info = 'v8'"; "kt.kind = 'movie'";
+            "t.production_year BETWEEN 1980 AND 1999" ];
+          [ "it1.info = 'genres'"; "mi.info = 'scifi'"; "it2.info = 'rating'";
+            "mi_idx.info = 'r0'"; "kt.kind = 'movie'" ];
+          [ "it1.info = 'info_11'"; "it2.info = 'rating'";
+            "k.keyword = 'kw_33'"; "ct.kind = 'production_companies'";
+            "cn.country_code = '[us]'" ];
+          [ "it1.info = 'rating-class'"; "mi.info = 'new'";
+            "it2.info = 'rating'"; "mi_idx.info = 'r9'"; "kt.kind = 'episode'";
+            "k.keyword = 'kw_2'" ];
+        ];
+    };
+    (* 12 tables: 4 + 4 + 3 = 11 *)
+    {
+      num = "24";
+      select = "MIN(n.name), MIN(t.title)";
+      from =
+        [ t_t; t_ci; t_n; t_an; t_rt; t_chn; t_mk; t_k; t_mc; t_cn; t_ct; t_kt ];
+      joins =
+        j_ci @ j_an @ j_rt @ j_chn @ j_mk @ j_mc @ j_ct @ j_kt @ r_ci_mk
+        @ r_ci_mc;
+      variants =
+        [
+          [ "k.keyword = 'kw_0'"; "kt.kind = 'movie'"; "n.gender = 'f'";
+            "rt.role = 'actress'"; "cn.country_code = '[us]'" ];
+          [ "an.name LIKE '%Tim%'"; "k.keyword = 'kw_1'"; "kt.kind = 'movie'";
+            "rt.role = 'actor'"; "ct.kind = 'production_companies'" ];
+          [ "k.keyword = 'kw_331'"; "kt.kind = 'documentary'";
+            "rt.role = 'director'" ];
+          [ "chn.name LIKE '%Man%'"; "k.keyword = 'kw_0'"; "kt.kind = 'movie'";
+            "n.gender = 'm'"; "cn.country_code = '[us]'" ];
+        ];
+    };
+    {
+      num = "26";
+      select = "MIN(t.title), MIN(n.name)";
+      from =
+        [ t_t; t_ci; t_n; t_mi; t_midx; t_it1; t_it2; t_mk; t_k; t_mc; t_cn; t_ct ];
+      joins =
+        j_ci @ j_mi @ j_midx @ j_mk @ j_mc @ j_ct @ r_mi_midx @ r_ci_mc
+        @ r_ci_mk @ r_mc_mk;
+      variants =
+        [
+          [ "k.keyword = 'kw_0'"; "it1.info = 'genres'"; "mi.info = 'action'";
+            "it2.info = 'rating'"; "mi_idx.info = 'r9'";
+            "cn.country_code = '[us]'"; "n.gender = 'm'" ];
+          [ "it1.info = 'rating-class'"; "mi.info = 'new'";
+            "it2.info = 'votes'"; "mi_idx.info = 'v9'"; "k.keyword = 'kw_4'";
+            "ct.kind = 'production_companies'" ];
+          [ "k.keyword = 'kw_329'"; "it1.info = 'info_8'";
+            "it2.info = 'rating'"; "cn.country_code = '[se]'" ];
+          [ "k.keyword = 'kw_0'"; "it1.info = 'rating-class'";
+            "mi.info = 'classic'"; "it2.info = 'rating'"; "mi_idx.info = 'r9'";
+            "t.production_year > 2010" ];
+        ];
+    };
+    {
+      num = "27";
+      select = "MIN(n.name), MIN(t.title)";
+      from = [ t_t; t_ci; t_n; t_rt; t_chn; t_mi; t_it1; t_mk; t_k; t_mc; t_cn; t_kt ];
+      joins = j_ci @ j_rt @ j_chn @ j_mi @ j_mk @ j_mc @ j_kt @ r_ci_mk;
+      variants =
+        [
+          [ "rt.role = 'actress'"; "n.gender = 'f'"; "it1.info = 'genres'";
+            "mi.info = 'romance'"; "k.keyword = 'kw_0'"; "kt.kind = 'movie'" ];
+          [ "rt.role = 'actor'"; "chn.name LIKE '%Man%'";
+            "it1.info = 'rating-class'"; "mi.info = 'new'";
+            "k.keyword = 'kw_1'"; "cn.country_code = '[us]'" ];
+          [ "rt.role = 'composer'"; "it1.info = 'info_15'";
+            "k.keyword = 'kw_90'"; "kt.kind = 'movie'" ];
+        ];
+    };
+    (* 14 tables: 3 + 3 = 6 *)
+    {
+      num = "28";
+      select = "MIN(n.name), MIN(t.title)";
+      from =
+        [ t_t; t_ci; t_n; t_an; t_rt; t_chn; t_mi; t_it1; t_mk; t_k; t_mc;
+          t_cn; t_ct; t_kt ];
+      joins =
+        j_ci @ j_an @ j_rt @ j_chn @ j_mi @ j_mk @ j_mc @ j_ct @ j_kt
+        @ r_ci_mk @ r_ci_mc;
+      variants =
+        [
+          [ "k.keyword = 'kw_0'"; "kt.kind = 'movie'"; "rt.role = 'actress'";
+            "n.gender = 'f'"; "it1.info = 'genres'"; "mi.info = 'romance'";
+            "cn.country_code = '[us]'" ];
+          [ "an.name LIKE '%John%'"; "k.keyword = 'kw_3'"; "kt.kind = 'movie'";
+            "rt.role = 'actor'"; "it1.info = 'rating-class'"; "mi.info = 'new'" ];
+          [ "k.keyword = 'kw_323'"; "kt.kind = 'tv_series'";
+            "rt.role = 'writer'"; "it1.info = 'info_21'";
+            "ct.kind = 'distributors'" ];
+        ];
+    };
+    {
+      num = "29";
+      select = "MIN(n.name), MIN(t.title)";
+      from =
+        [ t_t; t_ci; t_n; t_rt; t_mi; t_midx; t_it1; t_it2; t_mk; t_k; t_mc;
+          t_cn; t_ct; t_kt ];
+      joins =
+        j_ci @ j_rt @ j_mi @ j_midx @ j_mk @ j_mc @ j_ct @ j_kt @ r_mi_midx
+        @ r_mc_mk @ r_ci_mk;
+      variants =
+        [
+          [ "k.keyword = 'kw_0'"; "kt.kind = 'movie'"; "it1.info = 'genres'";
+            "mi.info = 'action'"; "it2.info = 'rating'"; "mi_idx.info = 'r9'";
+            "rt.role = 'actor'"; "cn.country_code = '[us]'" ];
+          [ "k.keyword = 'kw_7'"; "kt.kind = 'movie'";
+            "it1.info = 'rating-class'"; "mi.info = 'modern'";
+            "it2.info = 'votes'"; "mi_idx.info = 'v7'"; "rt.role = 'actress'";
+            "n.gender = 'f'" ];
+          [ "k.keyword = 'kw_333'"; "kt.kind = 'episode'";
+            "it1.info = 'info_30'"; "it2.info = 'rating'"; "rt.role = 'guest'" ];
+        ];
+    };
+    (* 17 tables: 1 family x 3 variants *)
+    {
+      num = "33";
+      select = "MIN(n.name), MIN(t.title), MIN(cn.name)";
+      from =
+        [ t_t; t_ci; t_n; t_an; t_rt; t_chn; t_mi; t_midx; t_it1; t_it2;
+          t_mk; t_k; t_mk2; t_k2; t_mc; t_cn; t_ct ];
+      joins =
+        j_ci @ j_an @ j_rt @ j_chn @ j_mi @ j_midx @ j_mk @ j_mk2 @ j_mc
+        @ j_ct @ r_mi_midx @ r_ci_mk @ r_ci_mc @ r_mc_mk;
+      variants =
+        [
+          [ "k.keyword = 'kw_0'"; "k2.keyword = 'kw_1'"; "n.gender = 'f'";
+            "rt.role = 'actress'"; "it1.info = 'genres'"; "mi.info = 'romance'";
+            "it2.info = 'rating'"; "mi_idx.info = 'r9'";
+            "cn.country_code = '[us]'" ];
+          [ "k.keyword = 'kw_2'"; "k2.keyword = 'kw_9'"; "rt.role = 'actor'";
+            "it1.info = 'rating-class'"; "mi.info = 'new'";
+            "it2.info = 'votes'"; "mi_idx.info = 'v9'";
+            "ct.kind = 'production_companies'" ];
+          [ "k.keyword = 'kw_300'"; "k2.keyword = 'kw_301'";
+            "rt.role = 'director'"; "it1.info = 'info_18'";
+            "it2.info = 'rating'"; "an.name LIKE '%Tim%'" ];
+        ];
+    };
+  ]
+
+let letter i = String.make 1 (Char.chr (Char.code 'a' + i))
+
+let render f preds =
+  Printf.sprintf "SELECT %s\nFROM %s\nWHERE %s;" f.select
+    (String.concat ", " f.from)
+    (String.concat "\n  AND " (f.joins @ preds))
+
+let sql_with_size =
+  List.concat_map
+    (fun f ->
+      List.mapi
+        (fun i preds -> (f.num ^ letter i, render f preds, List.length f.from))
+        f.variants)
+    families
+
+let sql = List.map (fun (name, text, _) -> (name, text)) sql_with_size
+
+let sql_of name =
+  List.find_map
+    (fun (n, text) -> if String.equal n name then Some text else None)
+    sql
+
+let bind_one catalog name text =
+  match Binder.bind catalog ~name (Parser.parse text) with
+  | Ok q -> q
+  | Error msg ->
+    invalid_arg (Printf.sprintf "Job_queries: query %s failed to bind: %s" name msg)
+
+let all catalog = List.map (fun (name, text) -> bind_one catalog name text) sql
+
+let find catalog name =
+  match sql_of name with
+  | Some text -> bind_one catalog name text
+  | None -> invalid_arg ("Job_queries.find: unknown query " ^ name)
+
+let distribution () =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (_, _, size) ->
+      Hashtbl.replace counts size
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts size)))
+    sql_with_size;
+  Hashtbl.fold (fun size count acc -> (size, count) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -1,0 +1,30 @@
+(** The JOB-analog workload: 113 select-project-join queries over the
+    synthetic IMDB schema, grouped into families with a/b/c/... variants as
+    in the Join Order Benchmark, and matching Table III of the paper
+    exactly: 3 queries of 4 tables, 20 of 5, 2 of 6, 16 of 7, 21 of 8,
+    14 of 9, 7 of 10, 10 of 11, 11 of 12, 6 of 14, and 3 of 17.
+
+    Variants differ in predicate constants: some hit the planted skew and
+    correlations (mis-estimated by orders of magnitude), others are benign,
+    giving the same mix of well- and badly-planned queries the paper
+    observes. Query names follow the families discussed in the paper:
+    "6d", "18a", "16b", "25c", and "30a" are the analogs of its deep-dive
+    queries. *)
+
+module Query := Rdb_query.Query
+
+val sql : (string * string) list
+(** All (name, SQL text) pairs, in workload order. *)
+
+val sql_of : string -> string option
+(** SQL text of a query by name. *)
+
+val all : Catalog.t -> Query.t list
+(** Parse and bind every query. Raises [Invalid_argument] if any query
+    fails to bind — the workload is validated against the catalog. *)
+
+val find : Catalog.t -> string -> Query.t
+(** One bound query by name. *)
+
+val distribution : unit -> (int * int) list
+(** [(n_tables, n_queries)] pairs, ascending — Table III. *)

@@ -1,0 +1,1 @@
+lib/plan/dpccp.ml: List Rdb_query Rdb_util

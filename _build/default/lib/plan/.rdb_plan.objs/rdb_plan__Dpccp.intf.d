@@ -1,0 +1,1 @@
+lib/plan/dpccp.mli: Rdb_query Rdb_util

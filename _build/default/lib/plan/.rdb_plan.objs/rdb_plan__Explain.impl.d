@@ -1,0 +1,1 @@
+lib/plan/explain.ml: Array Buffer List Plan Printf Rdb_query Rdb_util String

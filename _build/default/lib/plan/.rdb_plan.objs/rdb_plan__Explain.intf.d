@@ -1,0 +1,1 @@
+lib/plan/explain.mli: Plan Rdb_query Rdb_util

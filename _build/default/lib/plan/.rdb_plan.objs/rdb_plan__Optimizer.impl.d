@@ -1,0 +1,1 @@
+lib/plan/optimizer.ml: Array Catalog Float Hashtbl List Plan Rdb_card Rdb_cost Rdb_query Rdb_util Search_space Sys Table Value

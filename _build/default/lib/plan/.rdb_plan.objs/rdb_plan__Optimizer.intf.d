@@ -1,0 +1,1 @@
+lib/plan/optimizer.mli: Catalog Plan Rdb_card Rdb_cost Rdb_query Rdb_util Search_space

@@ -1,0 +1,1 @@
+lib/plan/plan.ml: List Rdb_query Rdb_util

@@ -1,0 +1,1 @@
+lib/plan/plan.mli: Rdb_query Rdb_util

@@ -1,0 +1,1 @@
+lib/plan/search_space.ml: Array Dpccp Int Rdb_util

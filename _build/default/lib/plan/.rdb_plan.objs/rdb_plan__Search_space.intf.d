@@ -1,0 +1,1 @@
+lib/plan/search_space.mli: Rdb_query Rdb_util

@@ -1,0 +1,39 @@
+module Relset = Rdb_util.Relset
+module Join_graph = Rdb_query.Join_graph
+
+(* Grow [s] into every connected superset reachable without touching [x],
+   emitting each exactly once (EnumerateCsgRec). *)
+let rec iter_csg_rec graph s x emit =
+  let candidates = Relset.diff (Join_graph.neighbors graph s) x in
+  if not (Relset.is_empty candidates) then
+    Relset.iter_subsets candidates (fun s' ->
+        let s2 = Relset.union s s' in
+        emit s2;
+        iter_csg_rec graph s2 (Relset.union x candidates) emit)
+
+(* EnumerateCmp: all connected complements of [s1] that avoid the
+   duplicate-suppression prefix. *)
+let iter_cmp graph s1 f =
+  let x = Relset.union (Relset.below (Relset.min_elt s1 + 1)) s1 in
+  let n = Relset.diff (Join_graph.neighbors graph s1) x in
+  let members = List.rev (Relset.to_list n) in
+  List.iter
+    (fun i ->
+      let v = Relset.singleton i in
+      f s1 v;
+      let smaller_neighbors = Relset.inter n (Relset.below (i + 1)) in
+      iter_csg_rec graph v (Relset.union x smaller_neighbors) (fun s2 -> f s1 s2))
+    members
+
+let iter_pairs graph f =
+  let n = Join_graph.n graph in
+  for i = n - 1 downto 0 do
+    let v = Relset.singleton i in
+    iter_cmp graph v f;
+    iter_csg_rec graph v (Relset.below (i + 1)) (fun s1 -> iter_cmp graph s1 f)
+  done
+
+let count_pairs graph =
+  let count = ref 0 in
+  iter_pairs graph (fun _ _ -> incr count);
+  !count

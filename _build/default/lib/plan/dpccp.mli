@@ -1,0 +1,20 @@
+(** DPccp enumeration (Moerkotte & Neumann, 2006): generate every
+    csg-cmp-pair — two disjoint connected subgraphs joined by at least one
+    edge — exactly once. This is the plan space of a modern bushy
+    dynamic-programming optimizer that forbids cartesian products, the
+    paper's PostgreSQL baseline. *)
+
+module Relset = Rdb_util.Relset
+module Join_graph := Rdb_query.Join_graph
+
+val iter_pairs : Join_graph.t -> (Relset.t -> Relset.t -> unit) -> unit
+(** [iter_pairs g f] calls [f s1 s2] once per unordered csg-cmp pair, in an
+    order where both components' best plans are already available when
+    their union is considered (pairs for smaller unions may come after
+    larger ones only if disjoint; the optimizer memoizes by subset, so only
+    the "sub-pairs first" property matters, which EnumerateCsg/Cmp
+    guarantees for the recursive structure used here). *)
+
+val count_pairs : Join_graph.t -> int
+(** Number of csg-cmp pairs: the classic complexity measure of the join
+    ordering problem for a given graph shape. *)

@@ -1,0 +1,13 @@
+(** EXPLAIN / EXPLAIN ANALYZE rendering of plan trees. *)
+
+module Relset = Rdb_util.Relset
+module Query := Rdb_query.Query
+
+val render :
+  ?actuals:(Relset.t -> int option) ->
+  Query.t ->
+  Plan.t ->
+  string
+(** Multi-line tree. When [actuals] is given, each node also shows the true
+    row count for its relation set — the paper's EXPLAIN ANALYZE view that
+    drives the re-optimization trigger. *)

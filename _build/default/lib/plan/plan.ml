@@ -1,0 +1,69 @@
+module Relset = Rdb_util.Relset
+module Query = Rdb_query.Query
+
+type scan_access =
+  | Seq_scan
+  | Index_scan of { col : int; key : int }
+
+type join_algo =
+  | Hash_join
+  | Index_nl of { inner_col : int }
+  | Nested_loop
+  | Merge_join
+
+type t =
+  | Scan of scan
+  | Join of join
+
+and scan = {
+  scan_rel : int;
+  access : scan_access;
+  scan_est : float;
+  scan_cost : float;
+}
+
+and join = {
+  algo : join_algo;
+  outer : t;
+  inner : t;
+  join_est : float;
+  join_cost : float;
+  join_edges : Query.edge list;
+}
+
+let rec rel_set = function
+  | Scan s -> Relset.singleton s.scan_rel
+  | Join j -> Relset.union (rel_set j.outer) (rel_set j.inner)
+
+let est_rows = function
+  | Scan s -> s.scan_est
+  | Join j -> j.join_est
+
+let cost = function
+  | Scan s -> s.scan_cost
+  | Join j -> j.join_cost
+
+let joins_bottom_up t =
+  let rec go acc = function
+    | Scan _ -> acc
+    | Join j ->
+      let acc = go acc j.outer in
+      let acc = go acc j.inner in
+      j :: acc
+  in
+  List.rev (go [] t)
+
+let scans t =
+  let rec go acc = function
+    | Scan s -> s :: acc
+    | Join j -> go (go acc j.inner) j.outer
+  in
+  List.rev (go [] t)
+
+let n_joins t = List.length (joins_bottom_up t)
+
+let algo_name = function
+  | Hash_join -> "Hash Join"
+  | Index_nl _ -> "Index Nested Loop"
+  | Nested_loop -> "Nested Loop"
+  | Merge_join -> "Merge Join"

@@ -1,0 +1,61 @@
+(** Physical plan trees: scans with an access path, binary joins with an
+    algorithm, each node carrying the optimizer's cardinality estimate and
+    cost. *)
+
+module Relset = Rdb_util.Relset
+module Query := Rdb_query.Query
+
+type scan_access =
+  | Seq_scan
+  | Index_scan of { col : int; key : int }
+      (** Equality lookup [col = key] through a hash index; the relation's
+          remaining predicates are applied as residual filters. *)
+
+type join_algo =
+  | Hash_join
+      (** Build on the inner (right) input, probe with the outer. *)
+  | Index_nl of { inner_col : int }
+      (** For each outer row, probe the inner base relation's index on
+          [inner_col]. The inner input must be a single base relation. *)
+  | Nested_loop
+      (** Materialized inner, scanned per outer row. *)
+  | Merge_join
+      (** Sort both inputs on the join key(s), then merge. *)
+
+type t =
+  | Scan of scan
+  | Join of join
+
+and scan = {
+  scan_rel : int;
+  access : scan_access;
+  scan_est : float;
+  scan_cost : float;
+}
+
+and join = {
+  algo : join_algo;
+  outer : t;
+  inner : t;
+  join_est : float;
+  join_cost : float;
+  join_edges : Query.edge list;
+      (** Connecting equi-join conditions, oriented with [l] on the outer
+          side. The first edge is the index key for [Index_nl]. *)
+}
+
+val rel_set : t -> Relset.t
+(** Relations covered by the subtree. *)
+
+val est_rows : t -> float
+val cost : t -> float
+
+val joins_bottom_up : t -> join list
+(** All join nodes, deepest-first (post-order); the order in which the
+    re-optimizer looks for the "lowest" mis-estimated join. *)
+
+val scans : t -> scan list
+
+val n_joins : t -> int
+
+val algo_name : join_algo -> string

@@ -1,0 +1,15 @@
+module Relset = Rdb_util.Relset
+
+type t = { pairs : (Relset.t * Relset.t) array }
+
+let build graph =
+  let acc = ref [] in
+  Dpccp.iter_pairs graph (fun s1 s2 -> acc := (s1, s2) :: !acc);
+  let pairs = Array.of_list !acc in
+  let key (s1, s2) = Relset.cardinal (Relset.union s1 s2) in
+  Array.sort (fun a b -> Int.compare (key a) (key b)) pairs;
+  { pairs }
+
+let iter t f = Array.iter (fun (s1, s2) -> f s1 s2) t.pairs
+
+let n_pairs t = Array.length t.pairs

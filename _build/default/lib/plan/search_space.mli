@@ -1,0 +1,17 @@
+(** The materialized csg-cmp-pair list of one query's join graph, sorted so
+    that every pair is seen only after all pairs composing its components.
+    The search space depends only on the graph, never on statistics, so one
+    instance is shared across every estimator configuration the experiments
+    sweep over. *)
+
+module Relset = Rdb_util.Relset
+module Join_graph := Rdb_query.Join_graph
+
+type t
+
+val build : Join_graph.t -> t
+
+val iter : t -> (Relset.t -> Relset.t -> unit) -> unit
+(** Pairs in ascending order of [|s1 ∪ s2|]. *)
+
+val n_pairs : t -> int

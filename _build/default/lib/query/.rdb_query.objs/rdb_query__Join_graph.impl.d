@@ -1,0 +1,1 @@
+lib/query/join_graph.ml: Array Buffer Hashtbl Int List Printf Query Rdb_util

@@ -1,0 +1,1 @@
+lib/query/join_graph.mli: Query Rdb_util

@@ -1,0 +1,1 @@
+lib/query/predicate.ml: Column Format Int List Printf String Value

@@ -1,0 +1,1 @@
+lib/query/predicate.mli: Format Value

@@ -1,0 +1,1 @@
+lib/query/query.ml: Array Catalog Hashtbl List Predicate Printf Rdb_util Result Schema Table Value

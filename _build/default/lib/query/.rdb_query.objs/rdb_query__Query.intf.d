@@ -1,0 +1,1 @@
+lib/query/query.mli: Catalog Predicate Rdb_util

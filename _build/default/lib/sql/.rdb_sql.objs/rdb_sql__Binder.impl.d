@@ -1,0 +1,1 @@
+lib/sql/binder.ml: Array Ast Catalog Hashtbl List Printf Rdb_query Result Schema String Table Value

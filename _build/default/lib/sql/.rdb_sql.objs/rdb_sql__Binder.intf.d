@@ -1,0 +1,1 @@
+lib/sql/binder.mli: Ast Catalog Rdb_query

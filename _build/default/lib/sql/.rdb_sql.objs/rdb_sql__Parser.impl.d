@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Ast Lexer List

@@ -1,0 +1,1 @@
+lib/sql/unparse.ml: Array Catalog Fun List Printf Rdb_query Rdb_util Schema String Table

@@ -1,0 +1,1 @@
+lib/sql/unparse.mli: Catalog Rdb_query Rdb_util

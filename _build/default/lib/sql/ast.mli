@@ -1,0 +1,35 @@
+(** Abstract syntax of the supported SQL subset: the select-project-join
+    dialect every JOB query is written in. *)
+
+type col = { c_alias : string; c_col : string }
+(** A qualified column reference [alias.column]. *)
+
+type lit =
+  | L_int of int
+  | L_str of string
+
+type cmp_op = Op_eq | Op_ne | Op_lt | Op_le | Op_gt | Op_ge
+
+type cond =
+  | C_cmp of col * cmp_op * lit
+  | C_between of col * int * int
+  | C_in of col * lit list
+  | C_like of col * string  (** raw pattern with [%] wildcards *)
+  | C_is_null of col
+  | C_is_not_null of col
+  | C_join of col * col     (** equi-join *)
+
+type select_item =
+  | S_count_star
+  | S_count of col
+  | S_min of col
+  | S_max of col
+  | S_sum of col
+
+type table_ref = { t_name : string; t_alias : string }
+
+type stmt = {
+  select : select_item list;
+  from : table_ref list;
+  where : cond list;  (** implicit conjunction *)
+}

@@ -1,0 +1,129 @@
+module Query = Rdb_query.Query
+module Predicate = Rdb_query.Predicate
+
+let ( let* ) = Result.bind
+
+let like_shape pattern =
+  let n = String.length pattern in
+  let starts = n > 0 && pattern.[0] = '%' in
+  let ends = n > 0 && pattern.[n - 1] = '%' in
+  let strip_start s = String.sub s 1 (String.length s - 1) in
+  let strip_end s = String.sub s 0 (String.length s - 1) in
+  let body =
+    match starts, ends with
+    | true, true when n >= 2 -> strip_end (strip_start pattern)
+    | true, _ -> strip_start pattern
+    | _, true -> strip_end pattern
+    | false, false -> pattern
+  in
+  if String.contains body '%' then
+    Error (Printf.sprintf "unsupported LIKE pattern %S (interior wildcard)" pattern)
+  else
+    match starts, ends with
+    | true, true -> Ok (Predicate.Like (Predicate.Contains body))
+    | true, false -> Ok (Predicate.Like (Predicate.Suffix body))
+    | false, true -> Ok (Predicate.Like (Predicate.Prefix body))
+    | false, false -> Ok (Predicate.Cmp (Predicate.Eq, Value.Str body))
+
+let value_of_lit = function
+  | Ast.L_int i -> Value.Int i
+  | Ast.L_str s -> Value.Str s
+
+let bind catalog ~name (stmt : Ast.stmt) =
+  let rels =
+    Array.of_list
+      (List.map
+         (fun (t : Ast.table_ref) ->
+           { Query.alias = t.Ast.t_alias; table = t.Ast.t_name })
+         stmt.Ast.from)
+  in
+  let alias_idx = Hashtbl.create 16 in
+  let* () =
+    let rec check i =
+      if i >= Array.length rels then Ok ()
+      else begin
+        let alias = rels.(i).Query.alias in
+        if Hashtbl.mem alias_idx alias then Error ("duplicate alias " ^ alias)
+        else begin
+          Hashtbl.add alias_idx alias i;
+          check (i + 1)
+        end
+      end
+    in
+    check 0
+  in
+  let resolve (c : Ast.col) =
+    match Hashtbl.find_opt alias_idx c.Ast.c_alias with
+    | None -> Error ("unknown alias " ^ c.Ast.c_alias)
+    | Some rel ->
+      (match Catalog.table catalog rels.(rel).Query.table with
+       | None -> Error ("unknown table " ^ rels.(rel).Query.table)
+       | Some tbl ->
+         (match Schema.find (Table.schema tbl) c.Ast.c_col with
+          | None ->
+            Error
+              (Printf.sprintf "unknown column %s.%s" c.Ast.c_alias c.Ast.c_col)
+          | Some col -> Ok { Query.rel; col }))
+  in
+  let cmp_op = function
+    | Ast.Op_eq -> Predicate.Eq
+    | Ast.Op_ne -> Predicate.Ne
+    | Ast.Op_lt -> Predicate.Lt
+    | Ast.Op_le -> Predicate.Le
+    | Ast.Op_gt -> Predicate.Gt
+    | Ast.Op_ge -> Predicate.Ge
+  in
+  let rec conds preds edges = function
+    | [] -> Ok (List.rev preds, List.rev edges)
+    | Ast.C_join (a, b) :: rest ->
+      let* l = resolve a in
+      let* r = resolve b in
+      conds preds ({ Query.l; r } :: edges) rest
+    | c :: rest ->
+      let target_pred =
+        match c with
+        | Ast.C_cmp (col, op, lit) ->
+          let* cr = resolve col in
+          Ok (cr, Predicate.Cmp (cmp_op op, value_of_lit lit))
+        | Ast.C_between (col, lo, hi) ->
+          let* cr = resolve col in
+          Ok (cr, Predicate.Between (lo, hi))
+        | Ast.C_in (col, lits) ->
+          let* cr = resolve col in
+          Ok (cr, Predicate.In_list (List.map value_of_lit lits))
+        | Ast.C_like (col, pattern) ->
+          let* cr = resolve col in
+          let* p = like_shape pattern in
+          Ok (cr, p)
+        | Ast.C_is_null col ->
+          let* cr = resolve col in
+          Ok (cr, Predicate.Is_null)
+        | Ast.C_is_not_null col ->
+          let* cr = resolve col in
+          Ok (cr, Predicate.Is_not_null)
+        | Ast.C_join _ -> assert false
+      in
+      let* target, p = target_pred in
+      conds ({ Query.target; p } :: preds) edges rest
+  in
+  let* preds, edges = conds [] [] stmt.Ast.where in
+  let rec selects acc = function
+    | [] -> Ok (List.rev acc)
+    | Ast.S_count_star :: rest -> selects (Query.Count_star :: acc) rest
+    | Ast.S_count col :: rest ->
+      let* cr = resolve col in
+      selects (Query.Count_col cr :: acc) rest
+    | Ast.S_min col :: rest ->
+      let* cr = resolve col in
+      selects (Query.Min_col cr :: acc) rest
+    | Ast.S_max col :: rest ->
+      let* cr = resolve col in
+      selects (Query.Max_col cr :: acc) rest
+    | Ast.S_sum col :: rest ->
+      let* cr = resolve col in
+      selects (Query.Sum_col cr :: acc) rest
+  in
+  let* select = selects [] stmt.Ast.select in
+  let q = { Query.name; rels; preds; edges; select } in
+  let* () = Query.validate catalog q in
+  Ok q

@@ -1,0 +1,14 @@
+(** Semantic analysis: resolve a parsed statement against the catalog into
+    the bound query IR. *)
+
+module Query := Rdb_query.Query
+
+val bind : Catalog.t -> name:string -> Ast.stmt -> (Query.t, string) result
+(** Resolves aliases and column names, classifies conditions into
+    restriction predicates and join edges, translates LIKE patterns, and
+    validates the result. *)
+
+val like_shape : string -> (Rdb_query.Predicate.t, string) result
+(** Translate a raw LIKE pattern into a predicate: ['%x%'], ['x%'], ['%x']
+    or a plain string (equality). Patterns with interior wildcards are
+    rejected. *)

@@ -1,0 +1,85 @@
+type token =
+  | Ident of string
+  | Int of int
+  | Str of string
+  | Kw of string
+  | Comma
+  | Dot
+  | Lparen
+  | Rparen
+  | Star
+  | Semi
+  | Op of string
+  | Eof
+
+exception Lex_error of string
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "AND"; "AS"; "MIN"; "MAX"; "SUM"; "COUNT";
+    "BETWEEN"; "IN"; "LIKE"; "IS"; "NULL"; "NOT" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let rec go i =
+    if i >= n then emit Eof
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | ',' -> emit Comma; go (i + 1)
+      | '.' -> emit Dot; go (i + 1)
+      | '(' -> emit Lparen; go (i + 1)
+      | ')' -> emit Rparen; go (i + 1)
+      | '*' -> emit Star; go (i + 1)
+      | ';' -> emit Semi; go (i + 1)
+      | '=' -> emit (Op "="); go (i + 1)
+      | '<' ->
+        if i + 1 < n && input.[i + 1] = '=' then begin emit (Op "<="); go (i + 2) end
+        else if i + 1 < n && input.[i + 1] = '>' then begin emit (Op "<>"); go (i + 2) end
+        else begin emit (Op "<"); go (i + 1) end
+      | '>' ->
+        if i + 1 < n && input.[i + 1] = '=' then begin emit (Op ">="); go (i + 2) end
+        else begin emit (Op ">"); go (i + 1) end
+      | '!' ->
+        if i + 1 < n && input.[i + 1] = '=' then begin emit (Op "<>"); go (i + 2) end
+        else raise (Lex_error "unexpected '!'")
+      | '\'' ->
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then raise (Lex_error "unterminated string literal")
+          else if input.[j] = '\'' then
+            if j + 1 < n && input.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              str (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf input.[j];
+            str (j + 1)
+          end
+        in
+        let next = str (i + 1) in
+        emit (Str (Buffer.contents buf));
+        go next
+      | c when is_digit c || (c = '-' && i + 1 < n && is_digit input.[i + 1]) ->
+        let j = ref (i + 1) in
+        while !j < n && is_digit input.[!j] do incr j done;
+        emit (Int (int_of_string (String.sub input i (!j - i))));
+        go !j
+      | c when is_ident_start c ->
+        let j = ref (i + 1) in
+        while !j < n && is_ident_char input.[!j] do incr j done;
+        let word = String.sub input i (!j - i) in
+        let upper = String.uppercase_ascii word in
+        if List.mem upper keywords then emit (Kw upper)
+        else emit (Ident (String.lowercase_ascii word));
+        go !j
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %c" c))
+  in
+  go 0;
+  List.rev !tokens

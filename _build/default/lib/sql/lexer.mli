@@ -1,0 +1,20 @@
+(** Tokenizer for the SQL subset. Keywords are case-insensitive;
+    identifiers are lower-cased. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Str of string
+  | Kw of string     (** upper-cased keyword: SELECT, FROM, ... *)
+  | Comma
+  | Dot
+  | Lparen
+  | Rparen
+  | Star
+  | Semi
+  | Op of string     (** =, <>, <, <=, >, >= *)
+  | Eof
+
+exception Lex_error of string
+
+val tokenize : string -> token list

@@ -1,0 +1,157 @@
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let fail msg = raise (Parse_error msg)
+
+let peek st = match st.toks with [] -> Lexer.Eof | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  if peek st = tok then advance st else fail ("expected " ^ what)
+
+let ident st =
+  match peek st with
+  | Lexer.Ident name -> advance st; name
+  | _ -> fail "expected identifier"
+
+let qualified_col st =
+  let alias = ident st in
+  expect st Lexer.Dot ".";
+  let col = ident st in
+  { Ast.c_alias = alias; c_col = col }
+
+let literal st =
+  match peek st with
+  | Lexer.Int i -> advance st; Ast.L_int i
+  | Lexer.Str s -> advance st; Ast.L_str s
+  | _ -> fail "expected literal"
+
+let select_item st =
+  let col_arg () =
+    expect st Lexer.Lparen "(";
+    let col = qualified_col st in
+    expect st Lexer.Rparen ")";
+    col
+  in
+  match peek st with
+  | Lexer.Kw "MIN" -> advance st; Ast.S_min (col_arg ())
+  | Lexer.Kw "MAX" -> advance st; Ast.S_max (col_arg ())
+  | Lexer.Kw "SUM" -> advance st; Ast.S_sum (col_arg ())
+  | Lexer.Kw "COUNT" ->
+    advance st;
+    expect st Lexer.Lparen "(";
+    (match peek st with
+     | Lexer.Star ->
+       advance st;
+       expect st Lexer.Rparen ")";
+       Ast.S_count_star
+     | _ ->
+       let col = qualified_col st in
+       expect st Lexer.Rparen ")";
+       Ast.S_count col)
+  | _ -> fail "expected an aggregate: MIN/MAX/SUM/COUNT"
+
+let table_ref st =
+  let name = ident st in
+  (match peek st with Lexer.Kw "AS" -> advance st | _ -> ());
+  match peek st with
+  | Lexer.Ident alias -> advance st; { Ast.t_name = name; t_alias = alias }
+  | _ -> { Ast.t_name = name; t_alias = name }
+
+let cmp_op_of = function
+  | "=" -> Ast.Op_eq
+  | "<>" -> Ast.Op_ne
+  | "<" -> Ast.Op_lt
+  | "<=" -> Ast.Op_le
+  | ">" -> Ast.Op_gt
+  | ">=" -> Ast.Op_ge
+  | op -> fail ("unknown operator " ^ op)
+
+let int_literal st =
+  match peek st with
+  | Lexer.Int i -> advance st; i
+  | _ -> fail "expected integer literal"
+
+let condition st =
+  let col = qualified_col st in
+  match peek st with
+  | Lexer.Op op ->
+    advance st;
+    (match peek st with
+     | Lexer.Ident _ ->
+       if op <> "=" then fail "column-to-column comparison must use =";
+       let rhs = qualified_col st in
+       Ast.C_join (col, rhs)
+     | _ -> Ast.C_cmp (col, cmp_op_of op, literal st))
+  | Lexer.Kw "BETWEEN" ->
+    advance st;
+    let lo = int_literal st in
+    expect st (Lexer.Kw "AND") "AND";
+    let hi = int_literal st in
+    Ast.C_between (col, lo, hi)
+  | Lexer.Kw "IN" ->
+    advance st;
+    expect st Lexer.Lparen "(";
+    let rec items acc =
+      let l = literal st in
+      match peek st with
+      | Lexer.Comma -> advance st; items (l :: acc)
+      | Lexer.Rparen -> advance st; List.rev (l :: acc)
+      | _ -> fail "expected , or ) in IN list"
+    in
+    Ast.C_in (col, items [])
+  | Lexer.Kw "LIKE" ->
+    advance st;
+    (match peek st with
+     | Lexer.Str pattern -> advance st; Ast.C_like (col, pattern)
+     | _ -> fail "expected string pattern after LIKE")
+  | Lexer.Kw "IS" ->
+    advance st;
+    (match peek st with
+     | Lexer.Kw "NULL" -> advance st; Ast.C_is_null col
+     | Lexer.Kw "NOT" ->
+       advance st;
+       expect st (Lexer.Kw "NULL") "NULL";
+       Ast.C_is_not_null col
+     | _ -> fail "expected NULL or NOT NULL after IS")
+  | _ -> fail "expected condition operator"
+
+let parse input =
+  let st = { toks = Lexer.tokenize input } in
+  expect st (Lexer.Kw "SELECT") "SELECT";
+  let rec select_items acc =
+    let item = select_item st in
+    match peek st with
+    | Lexer.Comma -> advance st; select_items (item :: acc)
+    | _ -> List.rev (item :: acc)
+  in
+  let select = select_items [] in
+  expect st (Lexer.Kw "FROM") "FROM";
+  let rec tables acc =
+    let t = table_ref st in
+    match peek st with
+    | Lexer.Comma -> advance st; tables (t :: acc)
+    | _ -> List.rev (t :: acc)
+  in
+  let from = tables [] in
+  let where =
+    match peek st with
+    | Lexer.Kw "WHERE" ->
+      advance st;
+      let rec conds acc =
+        let c = condition st in
+        match peek st with
+        | Lexer.Kw "AND" -> advance st; conds (c :: acc)
+        | _ -> List.rev (c :: acc)
+      in
+      conds []
+    | _ -> []
+  in
+  (match peek st with Lexer.Semi -> advance st | _ -> ());
+  (match peek st with
+   | Lexer.Eof -> ()
+   | _ -> fail "trailing tokens after statement");
+  { Ast.select; from; where }

@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the SQL subset:
+
+    {v
+    SELECT MIN(a.col) [, COUNT( * ) | MIN(...)]...
+    FROM table [AS] alias [, ...]
+    WHERE cond AND cond AND ... ;
+    v}
+
+    where a condition is [a.c <op> literal], [a.c BETWEEN n AND m],
+    [a.c IN (lit, ...)], [a.c LIKE 'pattern'], [a.c IS [NOT] NULL] or an
+    equi-join [a.c = b.d]. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.stmt
+(** Raises {!Parse_error} or {!Lexer.Lex_error} on malformed input. *)

@@ -1,0 +1,85 @@
+module Relset = Rdb_util.Relset
+module Query = Rdb_query.Query
+module Predicate = Rdb_query.Predicate
+
+let col_name catalog (q : Query.t) (cr : Query.colref) =
+  let tbl = Catalog.table_exn catalog q.Query.rels.(cr.Query.rel).Query.table in
+  (Schema.column (Table.schema tbl) cr.Query.col).Schema.name
+
+let colref catalog q (cr : Query.colref) =
+  Printf.sprintf "%s.%s" (Query.rel_alias q cr.Query.rel) (col_name catalog q cr)
+
+let select_list catalog q =
+  match q.Query.select with
+  | [] -> "*"
+  | items ->
+    String.concat ", "
+      (List.map
+         (function
+           | Query.Count_star -> "COUNT(*)"
+           | Query.Count_col cr ->
+             Printf.sprintf "COUNT(%s)" (colref catalog q cr)
+           | Query.Min_col cr ->
+             Printf.sprintf "MIN(%s)" (colref catalog q cr)
+           | Query.Max_col cr ->
+             Printf.sprintf "MAX(%s)" (colref catalog q cr)
+           | Query.Sum_col cr ->
+             Printf.sprintf "SUM(%s)" (colref catalog q cr))
+         items)
+
+let from_list ?(only : Relset.t option) (q : Query.t) =
+  let included i =
+    match only with None -> true | Some s -> Relset.mem i s
+  in
+  String.concat ",\n  "
+    (List.filter_map
+       (fun i ->
+         if included i then
+           let r = q.Query.rels.(i) in
+           Some
+             (if String.equal r.Query.alias r.Query.table then r.Query.table
+              else Printf.sprintf "%s AS %s" r.Query.table r.Query.alias)
+         else None)
+       (List.init (Query.n_rels q) Fun.id))
+
+let where_clauses ?(only : Relset.t option) catalog (q : Query.t) =
+  let included i =
+    match only with None -> true | Some s -> Relset.mem i s
+  in
+  let preds =
+    List.filter_map
+      (fun ({ Query.target; p } : Query.pred) ->
+        if included target.Query.rel then
+          Some (Predicate.to_sql ~col:(colref catalog q target) p)
+        else None)
+      q.Query.preds
+  in
+  let edges =
+    List.filter_map
+      (fun { Query.l; r } ->
+        if included l.Query.rel && included r.Query.rel then
+          Some
+            (Printf.sprintf "%s = %s" (colref catalog q l) (colref catalog q r))
+        else None)
+      q.Query.edges
+  in
+  preds @ edges
+
+let query catalog q =
+  let where = where_clauses catalog q in
+  let where_str =
+    if where = [] then "" else "\nWHERE " ^ String.concat "\n  AND " where
+  in
+  Printf.sprintf "SELECT %s\nFROM %s%s;" (select_list catalog q)
+    (from_list q) where_str
+
+let create_temp_table catalog q ~set ~temp_name ~cols =
+  let projection =
+    String.concat ", " (List.map (colref catalog q) cols)
+  in
+  let where = where_clauses ~only:set catalog q in
+  let where_str =
+    if where = [] then "" else "\nWHERE " ^ String.concat "\n  AND " where
+  in
+  Printf.sprintf "CREATE TEMPORARY TABLE %s AS\nSELECT %s\nFROM %s%s;"
+    temp_name projection (from_list ~only:set q) where_str

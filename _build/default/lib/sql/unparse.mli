@@ -1,0 +1,17 @@
+(** Render a bound query back to SQL text, with real column names resolved
+    through the catalog. Used to display the paper's Figure 6 rewrite: the
+    original query versus the [CREATE TEMPORARY TABLE] + final SELECT
+    sequence the re-optimizer produces. *)
+
+module Query := Rdb_query.Query
+
+val colref : Catalog.t -> Query.t -> Query.colref -> string
+(** [alias.column] text for a column reference. *)
+
+val query : Catalog.t -> Query.t -> string
+(** A full SELECT statement. *)
+
+val create_temp_table : Catalog.t -> Query.t -> set:Rdb_util.Relset.t ->
+  temp_name:string -> cols:Query.colref list -> string
+(** The [CREATE TEMPORARY TABLE name AS SELECT ...] statement materializing
+    the given relation subset, projecting the listed columns. *)

@@ -1,0 +1,1 @@
+lib/stats/analyze.ml: Array Catalog Col_stats Column Db_stats Hashtbl Histogram Int List Mcv Schema Seq Table Value

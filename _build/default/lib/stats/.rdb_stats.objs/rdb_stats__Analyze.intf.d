@@ -1,0 +1,1 @@
+lib/stats/analyze.mli: Catalog Col_stats Db_stats Table

@@ -1,0 +1,1 @@
+lib/stats/col_stats.ml: Format Histogram Int Mcv

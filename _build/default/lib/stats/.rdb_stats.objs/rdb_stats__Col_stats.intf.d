@@ -1,0 +1,1 @@
+lib/stats/col_stats.mli: Format Histogram Mcv

@@ -1,0 +1,1 @@
+lib/stats/cords.ml: Float Hashtbl List Option Schema Table

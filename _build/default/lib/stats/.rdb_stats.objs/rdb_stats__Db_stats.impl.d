@@ -1,0 +1,1 @@
+lib/stats/db_stats.ml: Array Col_stats Group_stats Hashtbl List String Table

@@ -1,0 +1,1 @@
+lib/stats/db_stats.mli: Col_stats Group_stats Table

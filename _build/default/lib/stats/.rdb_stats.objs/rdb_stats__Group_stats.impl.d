@@ -1,0 +1,1 @@
+lib/stats/group_stats.ml: Float Hashtbl Int List Option Rdb_util Table Value

@@ -1,0 +1,1 @@
+lib/stats/group_stats.mli: Table Value

@@ -1,0 +1,1 @@
+lib/stats/mcv.ml: Hashtbl Int List Option Value

@@ -1,0 +1,52 @@
+let column ?(buckets = 100) ?(mcv_slots = 100) tbl c =
+  let col = Table.column tbl c in
+  let n = Table.nrows tbl in
+  match col with
+  | Column.Ints cells ->
+    let non_null = Array.to_list (Array.to_seq cells |> Seq.filter (fun v -> v <> Column.null_int) |> Array.of_seq) in
+    let non_null_arr = Array.of_list non_null in
+    let n_non_null = Array.length non_null_arr in
+    let null_frac =
+      if n = 0 then 0.0 else float_of_int (n - n_non_null) /. float_of_int n
+    in
+    let distinct = Hashtbl.create 1024 in
+    Array.iter (fun v -> Hashtbl.replace distinct v ()) non_null_arr;
+    let min_val = ref None and max_val = ref None in
+    Array.iter
+      (fun v ->
+        (match !min_val with Some m when m <= v -> () | _ -> min_val := Some v);
+        (match !max_val with Some m when m >= v -> () | _ -> max_val := Some v))
+      non_null_arr;
+    let values = List.map (fun v -> Value.Int v) non_null in
+    {
+      Col_stats.row_count = n;
+      null_frac;
+      n_distinct = Int.max 1 (Hashtbl.length distinct);
+      min_val = !min_val;
+      max_val = !max_val;
+      mcv = Mcv.build ~slots:mcv_slots values;
+      hist = Histogram.build ~buckets non_null_arr;
+    }
+  | Column.Strs cells ->
+    let distinct = Hashtbl.create 1024 in
+    Array.iter (fun v -> Hashtbl.replace distinct v ()) cells;
+    let values = Array.to_list (Array.map (fun s -> Value.Str s) cells) in
+    {
+      Col_stats.row_count = n;
+      null_frac = 0.0;
+      n_distinct = Int.max 1 (Hashtbl.length distinct);
+      min_val = None;
+      max_val = None;
+      mcv = Mcv.build ~slots:mcv_slots values;
+      hist = None;
+    }
+
+let table ?buckets ?mcv_slots tbl =
+  Array.init (Schema.arity (Table.schema tbl)) (fun c ->
+      column ?buckets ?mcv_slots tbl c)
+
+let all ?buckets ?mcv_slots catalog store =
+  List.iter
+    (fun tbl ->
+      Db_stats.set store ~table:(Table.name tbl) (table ?buckets ?mcv_slots tbl))
+    (Catalog.tables catalog)

@@ -1,0 +1,13 @@
+(** ANALYZE: scan a table and build per-column statistics. The paper sets
+    PostgreSQL's [default_statistics_target] to its maximum; analogously we
+    default to generous histogram/MCV sizes and scan the full table rather
+    than a sample. *)
+
+val column : ?buckets:int -> ?mcv_slots:int -> Table.t -> int -> Col_stats.t
+(** Statistics for one column. *)
+
+val table : ?buckets:int -> ?mcv_slots:int -> Table.t -> Col_stats.t array
+(** Statistics for every column. *)
+
+val all : ?buckets:int -> ?mcv_slots:int -> Catalog.t -> Db_stats.t -> unit
+(** ANALYZE every table in the catalog into the given store. *)

@@ -1,0 +1,48 @@
+type finding = { col_a : int; col_b : int; strength : float }
+
+(* Total-variation distance between the joint distribution of (a, b) and
+   the product of the marginals: 0 for independent columns, approaching 1
+   for functional dependencies. Robust to the noise that defeats plain
+   distinct-count ratios. *)
+let correlation_strength table col_a col_b =
+  let n = Table.nrows table in
+  if n = 0 then 0.0
+  else begin
+    let nf = float_of_int n in
+    let joint = Hashtbl.create 1024 in
+    let ma = Hashtbl.create 256 and mb = Hashtbl.create 256 in
+    let bump tbl key =
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+    in
+    for row = 0 to n - 1 do
+      let va = Table.value table ~row ~col:col_a in
+      let vb = Table.value table ~row ~col:col_b in
+      bump joint (va, vb);
+      bump ma va;
+      bump mb vb
+    done;
+    let observed_abs_diff = ref 0.0 and observed_product_mass = ref 0.0 in
+    Hashtbl.iter
+      (fun (va, vb) c ->
+        let p_ab = float_of_int c /. nf in
+        let p_a = float_of_int (Hashtbl.find ma va) /. nf in
+        let p_b = float_of_int (Hashtbl.find mb vb) /. nf in
+        observed_abs_diff := !observed_abs_diff +. Float.abs (p_ab -. (p_a *. p_b));
+        observed_product_mass := !observed_product_mass +. (p_a *. p_b))
+      joint;
+    (* pairs never observed contribute their product mass *)
+    let unobserved = Float.max 0.0 (1.0 -. !observed_product_mass) in
+    (!observed_abs_diff +. unobserved) /. 2.0
+  end
+
+let discover ?(threshold = 0.1) table =
+  let arity = Schema.arity (Table.schema table) in
+  let findings = ref [] in
+  for a = 0 to arity - 1 do
+    for b = a + 1 to arity - 1 do
+      let strength = correlation_strength table a b in
+      if strength >= threshold then
+        findings := { col_a = a; col_b = b; strength } :: !findings
+    done
+  done;
+  List.sort (fun x y -> Float.compare y.strength x.strength) !findings

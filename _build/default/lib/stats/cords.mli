@@ -1,0 +1,20 @@
+(** CORDS-style automatic discovery of correlated column pairs (paper
+    reference [32]: Ilyas et al., SIGMOD 2004).
+
+    The correlation signal is the total-variation distance between the
+    joint value distribution and the product of the marginals: 0 for
+    independent columns, approaching 1 for functional dependencies. *)
+
+type finding = {
+  col_a : int;
+  col_b : int;
+  strength : float;  (** total-variation distance, in [0, 1] *)
+}
+
+val correlation_strength : Table.t -> int -> int -> float
+
+val discover : ?threshold:float -> Table.t -> finding list
+(** All column pairs whose strength is at least [threshold] (default 0.1),
+    strongest first. Unique-key columns correlate with everything under
+    this measure (every pair is a functional dependency of the key), so
+    callers typically skip key columns — or read the strengths and judge. *)

@@ -1,0 +1,45 @@
+type t = {
+  columns : (string, Col_stats.t array) Hashtbl.t;
+  groups : (string * int * int, Group_stats.t) Hashtbl.t;
+}
+
+let create () = { columns = Hashtbl.create 32; groups = Hashtbl.create 8 }
+
+let set t ~table cols = Hashtbl.replace t.columns table cols
+
+let get t ~table = Hashtbl.find_opt t.columns table
+
+let normalize (a, b) = if a <= b then (a, b) else (b, a)
+
+let set_group t ~table g =
+  let a, b = normalize (Group_stats.cols g) in
+  Hashtbl.replace t.groups (table, a, b) g
+
+let group t ~table ~cols =
+  let a, b = normalize cols in
+  Hashtbl.find_opt t.groups (table, a, b)
+
+let groups_of t ~table =
+  Hashtbl.fold
+    (fun (tname, _, _) g acc -> if String.equal tname table then g :: acc else acc)
+    t.groups []
+
+let col t ~table ~col =
+  match get t ~table with
+  | Some arr when col < Array.length arr -> Some arr.(col)
+  | Some _ | None -> None
+
+let col_or_trivial t table c =
+  match col t ~table:(Table.name table) ~col:c with
+  | Some s -> s
+  | None -> Col_stats.trivial ~row_count:(Table.nrows table)
+
+let drop t ~table =
+  Hashtbl.remove t.columns table;
+  let keys =
+    Hashtbl.fold
+      (fun ((tname, _, _) as key) _ acc ->
+        if String.equal tname table then key :: acc else acc)
+      t.groups []
+  in
+  List.iter (Hashtbl.remove t.groups) keys

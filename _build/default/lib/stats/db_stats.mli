@@ -1,0 +1,27 @@
+(** Database-wide statistics store: the result of ANALYZE, keyed by table
+    name. Kept separate from the catalog so storage does not depend on
+    statistics. *)
+
+type t
+
+val create : unit -> t
+
+val set : t -> table:string -> Col_stats.t array -> unit
+
+val get : t -> table:string -> Col_stats.t array option
+
+val col : t -> table:string -> col:int -> Col_stats.t option
+
+val col_or_trivial : t -> Table.t -> int -> Col_stats.t
+(** Statistics for a column, or {!Col_stats.trivial} sized to the live
+    table when the table was never analyzed. *)
+
+val set_group : t -> table:string -> Group_stats.t -> unit
+(** Register column-group statistics (a "CREATE STATISTICS"). *)
+
+val group : t -> table:string -> cols:(int * int) -> Group_stats.t option
+(** Group statistics for a column pair, order-insensitive. *)
+
+val groups_of : t -> table:string -> Group_stats.t list
+
+val drop : t -> table:string -> unit

@@ -1,0 +1,56 @@
+type t = {
+  cols : int * int;
+  entries : (Value.t * Value.t * float) list;
+  by_pair : (Value.t * Value.t, float) Hashtbl.t;
+  n_distinct_pairs : int;
+  total : float;
+}
+
+let build ?(slots = 100) table col_a col_b =
+  (* Canonical order: the smaller column index is the pair's first slot. *)
+  let col_a, col_b = if col_a <= col_b then (col_a, col_b) else (col_b, col_a) in
+  let n = Table.nrows table in
+  let counts = Hashtbl.create 1024 in
+  for row = 0 to n - 1 do
+    let pair = (Table.value table ~row ~col:col_a, Table.value table ~row ~col:col_b) in
+    Hashtbl.replace counts pair
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts pair))
+  done;
+  let all = Hashtbl.fold (fun pair c acc -> (pair, c) :: acc) counts [] in
+  let sorted =
+    List.sort
+      (fun ((va1, vb1), c1) ((va2, vb2), c2) ->
+        match Int.compare c2 c1 with
+        | 0 ->
+          (match Value.compare va1 va2 with 0 -> Value.compare vb1 vb2 | d -> d)
+        | d -> d)
+      all
+  in
+  let top = List.filteri (fun i (_, c) -> i < slots && c >= 2) sorted in
+  let nf = float_of_int (Int.max 1 n) in
+  let entries = List.map (fun ((va, vb), c) -> (va, vb, float_of_int c /. nf)) top in
+  let by_pair = Hashtbl.create (List.length entries) in
+  List.iter (fun (va, vb, f) -> Hashtbl.replace by_pair (va, vb) f) entries;
+  {
+    cols = (col_a, col_b);
+    entries;
+    by_pair;
+    n_distinct_pairs = Hashtbl.length counts;
+    total = List.fold_left (fun acc (_, _, f) -> acc +. f) 0.0 entries;
+  }
+
+let cols t = t.cols
+let n_distinct_pairs t = t.n_distinct_pairs
+let frequency t pair = Hashtbl.find_opt t.by_pair pair
+let entries t = t.entries
+let total_fraction t = t.total
+
+let joint_selectivity t sat_a sat_b ~independent =
+  let matched =
+    List.fold_left
+      (fun acc (va, vb, f) -> if sat_a va && sat_b vb then acc +. f else acc)
+      0.0 t.entries
+  in
+  let residual = Float.max 0.0 (1.0 -. t.total) in
+  Rdb_util.Stat_utils.clamp ~lo:0.0 ~hi:1.0
+    (matched +. (residual *. independent))

@@ -1,0 +1,31 @@
+(** Column-group (multi-column) statistics over a pair of columns of one
+    table — what commercial systems let a DBA create to capture intra-table
+    correlations, and what CORDS (paper reference [32]) discovers
+    automatically. Holds the joint most-common-value list and the number of
+    distinct value pairs. *)
+
+type t
+
+val build : ?slots:int -> Table.t -> int -> int -> t
+(** Joint statistics over two columns (default 100 MCV slots). The pair is
+    stored in canonical order: the smaller column index first; pair values
+    and the predicates of {!joint_selectivity} follow that order. *)
+
+val cols : t -> int * int
+(** (smaller column index, larger column index). *)
+
+val n_distinct_pairs : t -> int
+
+val frequency : t -> Value.t * Value.t -> float option
+(** Frequency of a joint value pair, when it is in the joint MCV list. *)
+
+val entries : t -> (Value.t * Value.t * float) list
+(** Most frequent first. *)
+
+val total_fraction : t -> float
+
+val joint_selectivity :
+  t -> (Value.t -> bool) -> (Value.t -> bool) -> independent:float -> float
+(** Selectivity of a conjunction of predicates on the two columns: the mass
+    of joint MCVs satisfying both, plus the non-MCV remainder charged at the
+    [independent] (product-rule) selectivity. *)

@@ -1,0 +1,40 @@
+type t = {
+  entries : (Value.t * float) list;
+  by_value : (Value.t, float) Hashtbl.t;
+  total : float;
+}
+
+let empty = { entries = []; by_value = Hashtbl.create 1; total = 0.0 }
+
+let build ?(slots = 100) values =
+  let non_null = List.filter (fun v -> not (Value.is_null v)) values in
+  let n = List.length non_null in
+  if n = 0 then empty
+  else begin
+    let counts = Hashtbl.create 256 in
+    List.iter
+      (fun v ->
+        Hashtbl.replace counts v
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+      non_null;
+    let all = Hashtbl.fold (fun v c acc -> (v, c) :: acc) counts [] in
+    let frequent = List.filter (fun (_, c) -> c >= 2) all in
+    let sorted =
+      List.sort
+        (fun (v1, c1) (v2, c2) ->
+          match Int.compare c2 c1 with 0 -> Value.compare v1 v2 | d -> d)
+        frequent
+    in
+    let top = List.filteri (fun i _ -> i < slots) sorted in
+    let nf = float_of_int n in
+    let entries = List.map (fun (v, c) -> (v, float_of_int c /. nf)) top in
+    let by_value = Hashtbl.create (List.length entries) in
+    List.iter (fun (v, f) -> Hashtbl.replace by_value v f) entries;
+    let total = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 entries in
+    { entries; by_value; total }
+  end
+
+let entries t = t.entries
+let frequency t v = Hashtbl.find_opt t.by_value v
+let total_fraction t = t.total
+let count t = List.length t.entries

@@ -1,0 +1,22 @@
+(** Most-common-value lists: the values PostgreSQL stores alongside
+    histograms, with their frequency as a fraction of the table. *)
+
+type t
+
+val build : ?slots:int -> Value.t list -> t
+(** Count the (non-NULL) input values and keep the [slots] most frequent
+    (default 100). A value must occur at least twice to be kept. *)
+
+val empty : t
+
+val entries : t -> (Value.t * float) list
+(** Most frequent first. *)
+
+val frequency : t -> Value.t -> float option
+(** Frequency of a value if it is in the list. *)
+
+val total_fraction : t -> float
+(** Combined fraction of the table covered by MCVs. *)
+
+val count : t -> int
+(** Number of entries. *)

@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Hash_index Hashtbl Int List String Table

@@ -1,0 +1,1 @@
+lib/storage/catalog.mli: Hash_index Table

@@ -1,0 +1,1 @@
+lib/storage/column.mli: Value

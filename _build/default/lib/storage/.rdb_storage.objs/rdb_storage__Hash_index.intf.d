@@ -1,0 +1,1 @@
+lib/storage/hash_index.mli: Table

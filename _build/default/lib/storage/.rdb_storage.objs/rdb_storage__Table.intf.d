@@ -1,0 +1,1 @@
+lib/storage/table.mli: Column Format Schema Value

@@ -1,0 +1,36 @@
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  indexes : (string * int, Hash_index.t) Hashtbl.t;
+}
+
+let create () = { tables = Hashtbl.create 32; indexes = Hashtbl.create 64 }
+
+let add_table t table = Hashtbl.replace t.tables (Table.name table) table
+
+let table t name = Hashtbl.find_opt t.tables name
+
+let table_exn t name =
+  match table t name with
+  | Some tbl -> tbl
+  | None -> invalid_arg ("Catalog: unknown table " ^ name)
+
+let tables t =
+  Hashtbl.fold (fun _ tbl acc -> tbl :: acc) t.tables []
+  |> List.sort (fun a b -> String.compare (Table.name a) (Table.name b))
+
+let add_index t ~table:name ~col =
+  let tbl = table_exn t name in
+  Hashtbl.replace t.indexes (name, col) (Hash_index.build tbl ~col)
+
+let index t ~table:name ~col = Hashtbl.find_opt t.indexes (name, col)
+
+let indexes_on t name =
+  Hashtbl.fold
+    (fun (tname, col) _ acc -> if String.equal tname name then col :: acc else acc)
+    t.indexes []
+  |> List.sort Int.compare
+
+let drop_table t name =
+  Hashtbl.remove t.tables name;
+  let cols = indexes_on t name in
+  List.iter (fun col -> Hashtbl.remove t.indexes (name, col)) cols

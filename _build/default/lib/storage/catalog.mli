@@ -1,0 +1,26 @@
+(** The catalog: named tables and their hash indexes. Statistics live in
+    [Rdb_stats.Db_stats], keyed by table name, so that the storage layer
+    does not depend on the statistics layer. *)
+
+type t
+
+val create : unit -> t
+
+val add_table : t -> Table.t -> unit
+(** Registers (or replaces) a table under its own name. *)
+
+val table : t -> string -> Table.t option
+val table_exn : t -> string -> Table.t
+val tables : t -> Table.t list
+(** All tables, sorted by name. *)
+
+val add_index : t -> table:string -> col:int -> unit
+(** Build and register a hash index on an integer column. *)
+
+val index : t -> table:string -> col:int -> Hash_index.t option
+
+val indexes_on : t -> string -> int list
+(** Indexed column positions of a table. *)
+
+val drop_table : t -> string -> unit
+(** Removes the table and its indexes; used to clean up temp tables. *)

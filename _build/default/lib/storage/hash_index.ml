@@ -1,0 +1,45 @@
+type t = {
+  table : Table.t;
+  col : int;
+  buckets : (int, int array) Hashtbl.t;
+}
+
+let empty_rows : int array = [||]
+
+(* Two passes: count per key, then fill fixed-size arrays. Avoids list
+   cells for the multi-million-row fact tables. *)
+let build table ~col =
+  let column = Table.column table col in
+  let n = Table.nrows table in
+  let counts = Hashtbl.create 1024 in
+  for row = 0 to n - 1 do
+    let key = Column.get_int column row in
+    if key <> Column.null_int then
+      match Hashtbl.find_opt counts key with
+      | Some c -> Hashtbl.replace counts key (c + 1)
+      | None -> Hashtbl.add counts key 1
+  done;
+  let buckets = Hashtbl.create (Hashtbl.length counts) in
+  Hashtbl.iter (fun key c -> Hashtbl.add buckets key (Array.make c (-1))) counts;
+  let fill = Hashtbl.create (Hashtbl.length counts) in
+  for row = 0 to n - 1 do
+    let key = Column.get_int column row in
+    if key <> Column.null_int then begin
+      let pos = Option.value ~default:0 (Hashtbl.find_opt fill key) in
+      (Hashtbl.find buckets key).(pos) <- row;
+      Hashtbl.replace fill key (pos + 1)
+    end
+  done;
+  { table; col; buckets }
+
+let table t = t.table
+let col t = t.col
+
+let lookup t key =
+  match Hashtbl.find_opt t.buckets key with
+  | Some rows -> rows
+  | None -> empty_rows
+
+let count t key = Array.length (lookup t key)
+
+let n_keys t = Hashtbl.length t.buckets

@@ -1,0 +1,21 @@
+(** Hash index over an integer column of a base table, mapping key values to
+    the row ids holding them. This is the engine's analog of the foreign-key
+    indexes the paper adds to make access-path selection challenging. *)
+
+type t
+
+val build : Table.t -> col:int -> t
+(** Index the given integer column. NULL cells are not indexed. *)
+
+val table : t -> Table.t
+val col : t -> int
+
+val lookup : t -> int -> int array
+(** Row ids whose cell equals the key; [||] when absent. The returned array
+    must not be mutated. *)
+
+val count : t -> int -> int
+(** Number of matching rows, without materializing them. *)
+
+val n_keys : t -> int
+(** Number of distinct keys present. *)

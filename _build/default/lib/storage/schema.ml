@@ -1,0 +1,29 @@
+type column = { name : string; ty : Value.ty }
+
+type t = { cols : column array; by_name : (string, int) Hashtbl.t }
+
+let make cols =
+  let arr = Array.of_list cols in
+  let by_name = Hashtbl.create (Array.length arr) in
+  Array.iteri
+    (fun i c ->
+      if Hashtbl.mem by_name c.name then
+        invalid_arg ("Schema.make: duplicate column " ^ c.name);
+      Hashtbl.add by_name c.name i)
+    arr;
+  { cols = arr; by_name }
+
+let arity t = Array.length t.cols
+let columns t = t.cols
+let column t i = t.cols.(i)
+let find t name = Hashtbl.find_opt t.by_name name
+let find_exn t name =
+  match find t name with Some i -> i | None -> raise Not_found
+
+let pp fmt t =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", "
+       (Array.to_list
+          (Array.map
+             (fun c -> c.name ^ " " ^ Value.ty_to_string c.ty)
+             t.cols)))

@@ -1,0 +1,20 @@
+(** Relation schemas: ordered, named, typed columns. *)
+
+type column = { name : string; ty : Value.ty }
+
+type t
+
+val make : column list -> t
+(** Column names must be distinct; raises [Invalid_argument] otherwise. *)
+
+val arity : t -> int
+val columns : t -> column array
+val column : t -> int -> column
+
+val find : t -> string -> int option
+(** Position of a column by name. *)
+
+val find_exn : t -> string -> int
+(** Like {!find} but raises [Not_found]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/pretty.ml: Float Int List Option Printf String

@@ -1,0 +1,1 @@
+lib/util/relset.ml: Format Hashtbl List Stdlib String

@@ -1,0 +1,1 @@
+lib/util/relset.mli: Format

@@ -1,0 +1,1 @@
+lib/util/stat_utils.mli:

@@ -1,0 +1,1 @@
+lib/util/zipf.ml: Array Prng

@@ -1,0 +1,47 @@
+let table ~headers rows =
+  let all = headers :: rows in
+  let ncols = List.fold_left (fun m r -> Int.max m (List.length r)) 0 all in
+  let width i =
+    List.fold_left
+      (fun m row -> match List.nth_opt row i with
+        | Some cell -> Int.max m (String.length cell)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i w ->
+          let cell = Option.value ~default:"" (List.nth_opt row i) in
+          cell ^ String.make (w - String.length cell) ' ')
+        widths
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+  in
+  String.concat "\n" (render_row headers :: rule :: List.map render_row rows)
+
+let series ~title points =
+  let max_v = List.fold_left (fun m (_, v) -> Float.max m v) 0.0 points in
+  let label_w =
+    List.fold_left (fun m (l, _) -> Int.max m (String.length l)) 0 points
+  in
+  let bar v =
+    if max_v <= 0.0 then ""
+    else String.make (int_of_float (v /. max_v *. 40.0)) '#'
+  in
+  let line (label, v) =
+    Printf.sprintf "  %-*s %12.2f  %s" label_w label v (bar v)
+  in
+  String.concat "\n" (title :: List.map line points)
+
+let heading s =
+  let rule = String.make (String.length s + 4) '=' in
+  Printf.sprintf "%s\n= %s =\n%s" rule s rule
+
+let ms v =
+  if v >= 1000.0 then Printf.sprintf "%.2fs" (v /. 1000.0)
+  else Printf.sprintf "%.2fms" v

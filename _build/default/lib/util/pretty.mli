@@ -1,0 +1,15 @@
+(** ASCII rendering of the tables and series that the experiment harness
+    reports, in the same shape as the paper's tables and figures. *)
+
+val table : headers:string list -> string list list -> string
+(** Render rows as an aligned ASCII table with a header rule. *)
+
+val series : title:string -> (string * float) list -> string
+(** Render a named series of (label, value) points, one per line, with a
+    proportional bar so figure shapes are visible in a terminal. *)
+
+val heading : string -> string
+(** A separator heading used between experiment sections. *)
+
+val ms : float -> string
+(** Format a duration given in milliseconds with a readable unit. *)

@@ -1,0 +1,28 @@
+let q_error ~est ~actual =
+  let est = Float.max est 1.0 and actual = Float.max actual 1.0 in
+  Float.max (est /. actual) (actual /. est)
+
+let sum = List.fold_left ( +. ) 0.0
+
+let mean = function
+  | [] -> 0.0
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let geometric_mean = function
+  | [] -> 0.0
+  | xs ->
+    let log_sum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let percentile p xs =
+  match xs with
+  | [] -> invalid_arg "Stat_utils.percentile: empty list"
+  | _ ->
+    let arr = Array.of_list xs in
+    Array.sort Float.compare arr;
+    let n = Array.length arr in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let idx = Int.max 0 (Int.min (n - 1) (rank - 1)) in
+    arr.(idx)
+
+let clamp ~lo ~hi x = Float.max lo (Float.min hi x)

@@ -1,0 +1,21 @@
+(** Small numeric helpers shared by the estimator, the re-optimization
+    trigger and the experiment reports. *)
+
+val q_error : est:float -> actual:float -> float
+(** The Q-error of Moerkotte et al. (paper reference [36]):
+    [max (est/actual) (actual/est)], with both sides clamped to at least 1
+    row so that empty results do not produce infinities. Always [>= 1.0]. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean; 0 for the empty list. Requires positive elements. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,100\]], nearest-rank on the sorted
+    list. Raises [Invalid_argument] on the empty list. *)
+
+val sum : float list -> float
+
+val clamp : lo:float -> hi:float -> float -> float

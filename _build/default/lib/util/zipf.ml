@@ -1,0 +1,36 @@
+type t = { n : int; cum : float array }
+
+let create ~n ~s =
+  assert (n > 0 && s >= 0.0);
+  let cum = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for k = 0 to n - 1 do
+    total := !total +. (1.0 /. (float_of_int (k + 1) ** s));
+    cum.(k) <- !total
+  done;
+  let z = !total in
+  for k = 0 to n - 1 do
+    cum.(k) <- cum.(k) /. z
+  done;
+  cum.(n - 1) <- 1.0;
+  { n; cum }
+
+let n t = t.n
+
+(* Binary search for the first rank whose cumulative mass covers [u]. *)
+let sample t prng =
+  let u = Prng.float prng 1.0 in
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let cdf t k =
+  assert (k >= 0 && k < t.n);
+  t.cum.(k)
+
+let pmf t k =
+  assert (k >= 0 && k < t.n);
+  if k = 0 then t.cum.(0) else t.cum.(k) -. t.cum.(k - 1)

@@ -1,0 +1,23 @@
+(** Zipfian distribution sampler.
+
+    Models the skew the paper identifies as a primary source of cardinality
+    estimation error (Section IV-C): a few values account for most of the
+    mass, e.g. 40 stocks out of 4000 carrying 50% of NYSE volume. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] is a Zipf distribution over ranks [0 .. n-1] with
+    exponent [s] (larger [s] = more skew). Requires [n > 0] and [s >= 0.0].
+    Probability of rank [k] is proportional to [1 / (k+1)^s]. *)
+
+val n : t -> int
+
+val sample : t -> Prng.t -> int
+(** Draw a rank in [\[0, n)]. Rank 0 is the most frequent. *)
+
+val pmf : t -> int -> float
+(** Probability of a given rank. *)
+
+val cdf : t -> int -> float
+(** Cumulative probability of ranks [0..k]. *)

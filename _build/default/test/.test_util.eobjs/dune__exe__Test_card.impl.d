@@ -1,0 +1,1 @@
+test/test_card.ml: Alcotest Array Catalog Column Float Fun Gen Hashtbl Int List Printf QCheck QCheck_alcotest Rdb_card Rdb_core Rdb_exec Rdb_imdb Rdb_query Rdb_stats Rdb_util Schema Table Value

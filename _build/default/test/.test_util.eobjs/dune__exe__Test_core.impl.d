@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Catalog Hashtbl List Rdb_card Rdb_core Rdb_exec Rdb_imdb Rdb_plan Rdb_query Rdb_util Table Value

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Catalog Column List QCheck QCheck_alcotest Rdb_exec Rdb_plan Rdb_query Rdb_util Schema Table Value

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Lazy List Rdb_harness String

@@ -1,0 +1,1 @@
+test/test_imdb.ml: Alcotest Catalog Column Hashtbl Int List Printf Rdb_card Rdb_imdb Rdb_query Result Schema String Table

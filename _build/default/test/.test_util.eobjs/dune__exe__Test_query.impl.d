@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Catalog Column Fun List Printf QCheck QCheck_alcotest Rdb_query Rdb_util Result Schema String Table Value

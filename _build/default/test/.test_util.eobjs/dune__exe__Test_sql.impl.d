@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest List Rdb_card Rdb_core Rdb_exec Rdb_imdb Rdb_query Rdb_sql Result Value

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Catalog Column Float Fun Gen List Option Printf QCheck QCheck_alcotest Rdb_stats Schema Table Value

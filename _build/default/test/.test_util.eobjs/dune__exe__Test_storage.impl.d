@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Catalog Column Hash_index Int List QCheck QCheck_alcotest Schema Table Value

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Int List QCheck QCheck_alcotest Rdb_util String

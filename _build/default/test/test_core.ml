@@ -1,0 +1,269 @@
+module Relset = Rdb_util.Relset
+module Query = Rdb_query.Query
+module Estimator = Rdb_card.Estimator
+module Plan = Rdb_plan.Plan
+module Executor = Rdb_exec.Executor
+module Session = Rdb_core.Session
+module Trigger = Rdb_core.Trigger
+module Reopt = Rdb_core.Reopt
+
+let check = Alcotest.check
+
+(* ---- Trigger ---- *)
+
+let test_trigger_fires () =
+  let t = Trigger.create 32.0 in
+  check Alcotest.bool "33x fires" true (Trigger.fires t ~est:10.0 ~actual:330.0);
+  check Alcotest.bool "under fires too" true (Trigger.fires t ~est:330.0 ~actual:10.0);
+  check Alcotest.bool "10x does not" false (Trigger.fires t ~est:10.0 ~actual:100.0)
+
+let test_trigger_min_rows () =
+  let t = Trigger.create ~min_actual_rows:100 2.0 in
+  check Alcotest.bool "small actual ignored" false (Trigger.fires t ~est:1.0 ~actual:50.0);
+  check Alcotest.bool "large actual fires" true (Trigger.fires t ~est:1.0 ~actual:500.0)
+
+let test_trigger_validation () =
+  Alcotest.check_raises "threshold < 1"
+    (Invalid_argument "Trigger.create: threshold must be >= 1") (fun () ->
+      ignore (Trigger.create 0.5))
+
+(* ---- Session ---- *)
+
+let make_session scale =
+  let catalog = Rdb_imdb.Imdb_gen.generate ~scale () in
+  let session = Session.create catalog in
+  Session.analyze session;
+  (catalog, session)
+
+let test_session_prepare_validates () =
+  let catalog, session = make_session 0.02 in
+  let q = Rdb_imdb.Job_queries.find catalog "1a" in
+  let bad = { q with Query.rels = [| { Query.alias = "x"; table = "nope" } |] } in
+  check Alcotest.bool "prepare rejects" true
+    (try ignore (Session.prepare session bad); false
+     with Invalid_argument _ -> true)
+
+let test_session_temp_names_fresh () =
+  let _, session = make_session 0.01 in
+  let a = Session.fresh_temp_name session in
+  let b = Session.fresh_temp_name session in
+  check Alcotest.bool "distinct" true (a <> b)
+
+(* ---- needed_cols and rewrite ---- *)
+
+let test_needed_cols_covers_crossing_edges () =
+  let catalog, _ = make_session 0.02 in
+  let q = Rdb_imdb.Job_queries.find catalog "6d" in
+  (* rels: t=0 mk=1 k=2 ci=3 n=4. Materialize {mk, k}. *)
+  let set = Relset.of_list [ 1; 2 ] in
+  let cols = Reopt.needed_cols q set in
+  check Alcotest.bool "non-empty" true (cols <> []);
+  List.iter
+    (fun (cr : Query.colref) ->
+      check Alcotest.bool "inside set" true (Relset.mem cr.Query.rel set))
+    cols
+
+let test_needed_cols_dedups_equivalent () =
+  let catalog, _ = make_session 0.02 in
+  (* In 16b, ci/mk/mc movie_id columns are all equated; materializing
+     {ci, mk, k} should expose a single movie column for the t/mc joins,
+     not one per relation. *)
+  let q = Rdb_imdb.Job_queries.find catalog "16b" in
+  (* rels order in 16b: t ci n an mk k mc cn *)
+  let set = Relset.of_list [ 1; 4; 5 ] in
+  let cols = Reopt.needed_cols q set in
+  (* ci brings person_id (to n) and person_role... only crossing classes:
+     movie (one representative), person. *)
+  let movie_cols =
+    List.filter (fun (cr : Query.colref) -> cr.Query.rel = 1 || cr.Query.rel = 4) cols
+  in
+  check Alcotest.bool "at most 2 movie-ish cols + person" true
+    (List.length movie_cols <= 2)
+
+let test_rewrite_structure () =
+  let catalog, _ = make_session 0.02 in
+  let q = Rdb_imdb.Job_queries.find catalog "6d" in
+  let set = Relset.of_list [ 1; 2 ] in
+  let cols = Reopt.needed_cols q set in
+  let q' = Reopt.rewrite q ~set ~temp_name:"temp_x" ~temp_cols:cols in
+  check Alcotest.int "two fewer rels, one temp" (Query.n_rels q - 1) (Query.n_rels q');
+  check Alcotest.string "temp is last"
+    "temp_x" q'.Query.rels.(Query.n_rels q' - 1).Query.alias;
+  (* no predicate or edge may reference the removed relations *)
+  List.iter
+    (fun ({ Query.target; _ } : Query.pred) ->
+      check Alcotest.bool "pred rel in range" true (target.Query.rel < Query.n_rels q'))
+    q'.Query.preds;
+  List.iter
+    (fun { Query.l; r } ->
+      check Alcotest.bool "edge rels in range" true
+        (l.Query.rel < Query.n_rels q' && r.Query.rel < Query.n_rels q'))
+    q'.Query.edges
+
+(* ---- the full loop: semantic preservation ---- *)
+
+let reopt_preserves_results name =
+  let catalog, session = make_session 0.05 in
+  let q = Rdb_imdb.Job_queries.find catalog name in
+  let prepared = Session.prepare session q in
+  let plan, _, _ = Session.plan prepared ~mode:Estimator.Default in
+  let direct = Session.execute prepared plan in
+  let outcome =
+    Reopt.run session ~trigger:(Trigger.create 32.0) ~mode:Estimator.Default q
+  in
+  check Alcotest.int (name ^ " row count preserved") direct.Executor.out_rows
+    outcome.Reopt.final_exec.Executor.out_rows;
+  List.iter2
+    (fun a b ->
+      check Alcotest.bool (name ^ " aggregate preserved") true (Value.equal a b))
+    direct.Executor.aggs outcome.Reopt.final_exec.Executor.aggs
+
+let test_reopt_preserves_results () =
+  List.iter reopt_preserves_results [ "1a"; "4b"; "6d"; "8a"; "16b"; "18a" ]
+
+let test_reopt_cleanup () =
+  let catalog, session = make_session 0.02 in
+  let tables_before = List.map Table.name (Catalog.tables catalog) in
+  let q = Rdb_imdb.Job_queries.find catalog "6d" in
+  let outcome =
+    Reopt.run session ~trigger:(Trigger.create 2.0) ~mode:Estimator.Default q
+  in
+  check Alcotest.bool "took at least one step" true (outcome.Reopt.steps <> []);
+  let tables_after = List.map Table.name (Catalog.tables catalog) in
+  check (Alcotest.list Alcotest.string) "temp tables dropped" tables_before
+    tables_after
+
+let test_reopt_no_trigger_no_steps () =
+  let catalog, session = make_session 0.02 in
+  let q = Rdb_imdb.Job_queries.find catalog "1a" in
+  (* With perfect estimates nothing can trip the trigger. *)
+  let outcome =
+    Reopt.run session ~trigger:(Trigger.create 32.0) ~mode:Estimator.Perfect_all q
+  in
+  check Alcotest.int "no steps" 0 (List.length outcome.Reopt.steps)
+
+let test_reopt_accounting () =
+  let catalog, session = make_session 0.05 in
+  let q = Rdb_imdb.Job_queries.find catalog "16b" in
+  let outcome =
+    Reopt.run session ~trigger:(Trigger.create 4.0) ~mode:Estimator.Default q
+  in
+  let mat_total =
+    List.fold_left (fun acc s -> acc +. s.Reopt.mat_ms) 0.0 outcome.Reopt.steps
+  in
+  check (Alcotest.float 0.001) "exec = materializations + final"
+    (mat_total +. outcome.Reopt.final_exec.Executor.elapsed_ms)
+    outcome.Reopt.total_exec_ms;
+  check Alcotest.bool "plan time includes replans" true
+    (outcome.Reopt.total_plan_ms >= outcome.Reopt.initial_plan_ms)
+
+let test_reopt_max_steps () =
+  let catalog, session = make_session 0.02 in
+  let q = Rdb_imdb.Job_queries.find catalog "16b" in
+  let outcome =
+    Reopt.run ~max_steps:1 session ~trigger:(Trigger.create 2.0)
+      ~mode:Estimator.Default q
+  in
+  check Alcotest.bool "at most one step" true (List.length outcome.Reopt.steps <= 1)
+
+let test_reopt_composes_with_perfect () =
+  let catalog, session = make_session 0.05 in
+  let q = Rdb_imdb.Job_queries.find catalog "6d" in
+  let outcome =
+    Reopt.run session ~trigger:(Trigger.create 32.0) ~mode:(Estimator.Perfect 2) q
+  in
+  (* still correct *)
+  let prepared = Session.prepare session q in
+  let plan, _, _ = Session.plan prepared ~mode:Estimator.Perfect_all in
+  let direct = Session.execute prepared plan in
+  check Alcotest.int "rows agree" direct.Executor.out_rows
+    outcome.Reopt.final_exec.Executor.out_rows
+
+
+(* ---- Feedback (LEO) ---- *)
+
+let test_feedback_signature_alias_independent () =
+  let catalog, _ = make_session 0.02 in
+  let q = Rdb_imdb.Job_queries.find catalog "6d" in
+  (* rels: t mk k ci n; renaming aliases must not change signatures *)
+  let q2 =
+    { q with
+      Query.rels =
+        Array.map (fun r -> { r with Query.alias = r.Query.alias ^ "_x" }) q.Query.rels }
+  in
+  let s = Relset.of_list [ 1; 2 ] in
+  check Alcotest.string "alias independent"
+    (Rdb_core.Feedback.signature q s)
+    (Rdb_core.Feedback.signature q2 s)
+
+let test_feedback_signature_distinguishes_preds () =
+  let catalog, _ = make_session 0.02 in
+  let qa = Rdb_imdb.Job_queries.find catalog "6a" in
+  let qd = Rdb_imdb.Job_queries.find catalog "6d" in
+  (* the mk-k pair differs by the keyword predicate *)
+  let s = Relset.of_list [ 1; 2 ] in
+  check Alcotest.bool "different predicates differ" true
+    (Rdb_core.Feedback.signature qa s <> Rdb_core.Feedback.signature qd s)
+
+let test_feedback_learns_and_transfers () =
+  let catalog, session = make_session 0.05 in
+  let q = Rdb_imdb.Job_queries.find catalog "6d" in
+  let feedback = Rdb_core.Feedback.create () in
+  let prepared = Session.prepare session q in
+  let plan, _, _ = Session.plan prepared ~mode:Estimator.Default in
+  let res = Session.execute prepared plan in
+  Rdb_core.Feedback.observe feedback q res;
+  check Alcotest.bool "learned something" true (Rdb_core.Feedback.size feedback > 0);
+  (* the full set's cardinality is now known exactly *)
+  let full = Relset.full (Query.n_rels q) in
+  (match Rdb_core.Feedback.lookup feedback q full with
+   | Some v ->
+     check (Alcotest.float 0.5) "full-set card learned"
+       (float_of_int res.Executor.out_rows) v
+   | None -> Alcotest.fail "full set not learned");
+  let overrides = Rdb_core.Feedback.overrides_for feedback q in
+  check Alcotest.bool "overrides non-empty" true (Hashtbl.length overrides > 0)
+
+let () =
+  Alcotest.run "rdb_core"
+    [
+      ( "trigger",
+        [
+          Alcotest.test_case "fires on q-error" `Quick test_trigger_fires;
+          Alcotest.test_case "min rows guard" `Quick test_trigger_min_rows;
+          Alcotest.test_case "validation" `Quick test_trigger_validation;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "prepare validates" `Quick test_session_prepare_validates;
+          Alcotest.test_case "fresh temp names" `Quick test_session_temp_names_fresh;
+        ] );
+      ( "rewrite",
+        [
+          Alcotest.test_case "needed_cols covers crossing edges" `Quick
+            test_needed_cols_covers_crossing_edges;
+          Alcotest.test_case "needed_cols dedups classes" `Quick
+            test_needed_cols_dedups_equivalent;
+          Alcotest.test_case "rewrite structure" `Quick test_rewrite_structure;
+        ] );
+      ( "feedback",
+        [
+          Alcotest.test_case "alias-independent signatures" `Quick
+            test_feedback_signature_alias_independent;
+          Alcotest.test_case "predicates distinguish" `Quick
+            test_feedback_signature_distinguishes_preds;
+          Alcotest.test_case "learns and transfers" `Quick
+            test_feedback_learns_and_transfers;
+        ] );
+      ( "reopt",
+        [
+          Alcotest.test_case "preserves results" `Slow test_reopt_preserves_results;
+          Alcotest.test_case "cleans up temp tables" `Quick test_reopt_cleanup;
+          Alcotest.test_case "perfect estimates never trigger" `Quick
+            test_reopt_no_trigger_no_steps;
+          Alcotest.test_case "time accounting" `Quick test_reopt_accounting;
+          Alcotest.test_case "max steps" `Quick test_reopt_max_steps;
+          Alcotest.test_case "composes with perfect-(n)" `Quick
+            test_reopt_composes_with_perfect;
+        ] );
+    ]

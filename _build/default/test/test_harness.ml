@@ -1,0 +1,111 @@
+module Runner = Rdb_harness.Runner
+module Experiments = Rdb_harness.Experiments
+
+let check = Alcotest.check
+
+(* One tiny lab shared by the whole file: building it is the expensive
+   part. *)
+let lab = lazy (Runner.create_lab ~scale:0.02 ~work_budget:50_000_000 ())
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i =
+    if i + nl > hl then false
+    else if String.sub hay i nl = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_lab_binds_workload () =
+  let lab = Lazy.force lab in
+  check Alcotest.int "113 queries" 113 (List.length (Runner.queries lab))
+
+let test_run_query_caches () =
+  let lab = Lazy.force lab in
+  let q = Runner.query lab "1a" in
+  let m1 = Runner.run_query lab Runner.Default q in
+  let m2 = Runner.run_query lab Runner.Default q in
+  check Alcotest.bool "cached (physically equal)" true (m1 == m2)
+
+let test_config_names () =
+  check Alcotest.string "default" "default" (Runner.config_name Runner.Default);
+  check Alcotest.string "perfect" "perfect-4" (Runner.config_name (Runner.Perfect 4));
+  check Alcotest.string "reopt" "reopt-32" (Runner.config_name (Runner.Reopt 32.0));
+  check Alcotest.string "combo" "perfect-3+reopt-32"
+    (Runner.config_name (Runner.Perfect_reopt (3, 32.0)))
+
+let test_measurements_sane () =
+  let lab = Lazy.force lab in
+  let q = Runner.query lab "6d" in
+  let m = Runner.run_query lab Runner.Default q in
+  check Alcotest.bool "positive exec" true (m.Runner.m_exec_ms >= 0.0);
+  check Alcotest.bool "positive plan" true (m.Runner.m_plan_ms >= 0.0);
+  check Alcotest.int "rels" 5 m.Runner.m_rels;
+  let r = Runner.run_query lab (Runner.Reopt 2.0) q in
+  check Alcotest.bool "reopt steps recorded" true (r.Runner.m_steps >= 1)
+
+let test_perfect_beats_default_on_workload () =
+  let lab = Lazy.force lab in
+  let default = Runner.run_workload lab Runner.Default in
+  let perfect = Runner.run_workload lab Runner.Perfect_all in
+  check Alcotest.bool "perfect total <= default total" true
+    (Runner.total_exec_ms perfect <= Runner.total_exec_ms default)
+
+let test_table3_text () =
+  let s = Experiments.table3 () in
+  check Alcotest.bool "has 17-row" true (contains ~needle:"17" s);
+  check Alcotest.bool "has counts" true (contains ~needle:"113" s || contains ~needle:"21" s)
+
+let test_skew_example_underestimates () =
+  let s = Experiments.skew_example () in
+  check Alcotest.bool "reports underestimate" true
+    (contains ~needle:"under-estimation factor" s)
+
+let test_fig3_4_text () =
+  let lab = Lazy.force lab in
+  let s = Experiments.fig3_4 lab in
+  check Alcotest.bool "6d graph" true (contains ~needle:"graph 6d" s);
+  check Alcotest.bool "18a graph" true (contains ~needle:"graph 18a" s)
+
+let test_fig6_text () =
+  let lab = Lazy.force lab in
+  let s = Experiments.fig6 lab in
+  check Alcotest.bool "has CREATE TEMP" true
+    (contains ~needle:"CREATE TEMPORARY TABLE" s);
+  check Alcotest.bool "has final select" true (contains ~needle:"Final SELECT" s)
+
+let test_experiment_names () =
+  check Alcotest.bool "all present" true
+    (List.for_all
+       (fun n -> List.mem n Experiments.names)
+       [ "table1"; "table2"; "table3"; "table6"; "fig1"; "fig2"; "fig3_4";
+         "skew"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9" ])
+
+let test_unknown_experiment () =
+  let lab = Lazy.force lab in
+  check Alcotest.bool "raises" true
+    (try ignore (Experiments.run lab "nope"); false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "rdb_harness"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "binds workload" `Quick test_lab_binds_workload;
+          Alcotest.test_case "caches measurements" `Quick test_run_query_caches;
+          Alcotest.test_case "config names" `Quick test_config_names;
+          Alcotest.test_case "measurements sane" `Quick test_measurements_sane;
+          Alcotest.test_case "perfect <= default" `Slow
+            test_perfect_beats_default_on_workload;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "table3 text" `Quick test_table3_text;
+          Alcotest.test_case "skew example" `Quick test_skew_example_underestimates;
+          Alcotest.test_case "fig3_4 text" `Quick test_fig3_4_text;
+          Alcotest.test_case "fig6 text" `Quick test_fig6_text;
+          Alcotest.test_case "experiment names" `Quick test_experiment_names;
+          Alcotest.test_case "unknown rejected" `Quick test_unknown_experiment;
+        ] );
+    ]

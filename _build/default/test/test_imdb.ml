@@ -1,0 +1,186 @@
+module Query = Rdb_query.Query
+module Imdb_gen = Rdb_imdb.Imdb_gen
+module Imdb_schema = Rdb_imdb.Imdb_schema
+module Job_queries = Rdb_imdb.Job_queries
+
+let check = Alcotest.check
+
+let test_all_tables_present () =
+  let catalog = Imdb_gen.generate ~scale:0.01 () in
+  List.iter
+    (fun (name, _) ->
+      check Alcotest.bool (name ^ " present") true (Catalog.table catalog name <> None))
+    Imdb_schema.tables
+
+let test_sizes_scale () =
+  let s1 = Imdb_gen.sizes ~scale:1.0 and s2 = Imdb_gen.sizes ~scale:0.5 in
+  check Alcotest.int "titles halve" (s1.Imdb_gen.titles / 2) s2.Imdb_gen.titles;
+  check Alcotest.int "cast halves" (s1.Imdb_gen.cast_infos / 2) s2.Imdb_gen.cast_infos
+
+let table_fingerprint catalog name =
+  let t = Catalog.table_exn catalog name in
+  let acc = ref 0 in
+  for row = 0 to Int.min 500 (Table.nrows t) - 1 do
+    for col = 0 to Schema.arity (Table.schema t) - 1 do
+      acc := (!acc * 31) + Hashtbl.hash (Table.value t ~row ~col)
+    done
+  done;
+  (Table.nrows t, !acc)
+
+let test_generator_deterministic () =
+  let a = Imdb_gen.generate ~seed:7 ~scale:0.02 () in
+  let b = Imdb_gen.generate ~seed:7 ~scale:0.02 () in
+  List.iter
+    (fun (name, _) ->
+      check
+        (Alcotest.pair Alcotest.int Alcotest.int)
+        (name ^ " identical") (table_fingerprint a name) (table_fingerprint b name))
+    Imdb_schema.tables
+
+let test_generator_seed_changes_data () =
+  let a = Imdb_gen.generate ~seed:1 ~scale:0.02 () in
+  let b = Imdb_gen.generate ~seed:2 ~scale:0.02 () in
+  let differs =
+    List.exists
+      (fun (name, _) -> table_fingerprint a name <> table_fingerprint b name)
+      Imdb_schema.tables
+  in
+  check Alcotest.bool "different seeds differ" true differs
+
+let test_fk_integrity () =
+  let catalog = Imdb_gen.generate ~scale:0.02 () in
+  let within ~fact ~col ~dim =
+    let f = Catalog.table_exn catalog fact in
+    let max_id = Table.nrows (Catalog.table_exn catalog dim) in
+    let column = Table.column f col in
+    for row = 0 to Table.nrows f - 1 do
+      let v = Column.get_int column row in
+      if v <> Column.null_int && (v < 1 || v > max_id) then
+        Alcotest.fail (Printf.sprintf "%s.%d row %d: fk %d out of range" fact col row v)
+    done
+  in
+  within ~fact:"movie_keyword" ~col:1 ~dim:"title";
+  within ~fact:"movie_keyword" ~col:2 ~dim:"keyword";
+  within ~fact:"cast_info" ~col:1 ~dim:"name";
+  within ~fact:"cast_info" ~col:2 ~dim:"title";
+  within ~fact:"cast_info" ~col:3 ~dim:"char_name";
+  within ~fact:"cast_info" ~col:4 ~dim:"role_type";
+  within ~fact:"movie_companies" ~col:1 ~dim:"title";
+  within ~fact:"movie_companies" ~col:2 ~dim:"company_name";
+  within ~fact:"movie_companies" ~col:3 ~dim:"company_type";
+  within ~fact:"movie_info" ~col:1 ~dim:"title";
+  within ~fact:"movie_info_idx" ~col:1 ~dim:"title";
+  within ~fact:"aka_name" ~col:1 ~dim:"name"
+
+let test_indexes_built () =
+  let catalog = Imdb_gen.generate ~scale:0.01 () in
+  List.iter
+    (fun (name, _) ->
+      let schema = Table.schema (Catalog.table_exn catalog name) in
+      List.iter
+        (fun col_name ->
+          let col = Schema.find_exn schema col_name in
+          check Alcotest.bool
+            (Printf.sprintf "%s.%s indexed" name col_name)
+            true
+            (Catalog.index catalog ~table:name ~col <> None))
+        (Imdb_schema.indexed_columns name))
+    Imdb_schema.tables
+
+let test_planted_skew () =
+  let catalog = Imdb_gen.generate ~scale:0.1 () in
+  let mk = Catalog.table_exn catalog "movie_keyword" in
+  let kw_col = Table.column mk 2 in
+  let n = Table.nrows mk in
+  let count_of key =
+    let c = ref 0 in
+    for row = 0 to n - 1 do
+      if Column.get_int kw_col row = key then incr c
+    done;
+    !c
+  in
+  (* keyword id 1 = hottest of group 0; a mid-rank keyword is far rarer *)
+  let hot = count_of 1 and cold = count_of 301 in
+  check Alcotest.bool
+    (Printf.sprintf "hot keyword (%d) >> cold (%d)" hot cold)
+    true
+    (hot > 20 * Int.max 1 cold)
+
+(* ---- workload ---- *)
+
+let test_113_queries () =
+  check Alcotest.int "113 queries" 113 (List.length Job_queries.sql)
+
+let test_distribution_matches_table3 () =
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "Table III distribution"
+    [ (4, 3); (5, 20); (6, 2); (7, 16); (8, 21); (9, 14); (10, 7); (11, 10);
+      (12, 11); (14, 6); (17, 3) ]
+    (Job_queries.distribution ())
+
+let test_all_queries_bind () =
+  let catalog = Imdb_gen.generate ~scale:0.01 () in
+  let queries = Job_queries.all catalog in
+  check Alcotest.int "all bound" 113 (List.length queries);
+  List.iter
+    (fun q ->
+      check Alcotest.bool (q.Query.name ^ " validates") true
+        (Result.is_ok (Query.validate catalog q)))
+    queries
+
+let test_query_names_unique () =
+  let names = List.map fst Job_queries.sql in
+  check Alcotest.int "unique names" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_deep_dive_queries_exist () =
+  List.iter
+    (fun name ->
+      check Alcotest.bool (name ^ " exists") true (Job_queries.sql_of name <> None))
+    [ "6d"; "18a"; "16b"; "25c"; "30a" ]
+
+let test_join_graphs_connected () =
+  let catalog = Imdb_gen.generate ~scale:0.01 () in
+  List.iter
+    (fun q ->
+      let g = Rdb_query.Join_graph.make q in
+      check Alcotest.bool (q.Query.name ^ " connected") true
+        (Rdb_query.Join_graph.is_connected g (Query.all_rels q)))
+    (Job_queries.all catalog)
+
+let test_queries_use_tree_oracle () =
+  let catalog = Imdb_gen.generate ~scale:0.01 () in
+  List.iter
+    (fun q ->
+      check Alcotest.bool (q.Query.name ^ " tree engine") true
+        (Rdb_card.Oracle.uses_tree_engine (Rdb_card.Oracle.create catalog q)))
+    (Job_queries.all catalog)
+
+let () =
+  Alcotest.run "rdb_imdb"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "all tables present" `Quick test_all_tables_present;
+          Alcotest.test_case "sizes scale" `Quick test_sizes_scale;
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_generator_seed_changes_data;
+          Alcotest.test_case "foreign keys in range" `Quick test_fk_integrity;
+          Alcotest.test_case "indexes built" `Quick test_indexes_built;
+          Alcotest.test_case "planted keyword skew" `Quick test_planted_skew;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "113 queries" `Quick test_113_queries;
+          Alcotest.test_case "Table III distribution" `Quick
+            test_distribution_matches_table3;
+          Alcotest.test_case "all queries bind" `Quick test_all_queries_bind;
+          Alcotest.test_case "names unique" `Quick test_query_names_unique;
+          Alcotest.test_case "deep-dive analogs exist" `Quick
+            test_deep_dive_queries_exist;
+          Alcotest.test_case "join graphs connected" `Quick test_join_graphs_connected;
+          Alcotest.test_case "tree oracle everywhere" `Quick
+            test_queries_use_tree_oracle;
+        ] );
+    ]

@@ -1,0 +1,298 @@
+module Histogram = Rdb_stats.Histogram
+module Mcv = Rdb_stats.Mcv
+module Col_stats = Rdb_stats.Col_stats
+module Analyze = Rdb_stats.Analyze
+module Db_stats = Rdb_stats.Db_stats
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Histogram ---- *)
+
+let test_histogram_empty () =
+  check Alcotest.bool "empty input" true (Histogram.build [||] = None)
+
+let test_histogram_bounds_sorted () =
+  let values = Array.init 1000 (fun i -> (i * 37) mod 500) in
+  match Histogram.build ~buckets:50 values with
+  | None -> Alcotest.fail "expected histogram"
+  | Some h ->
+    let b = Histogram.bounds h in
+    for i = 1 to Array.length b - 1 do
+      if b.(i) < b.(i - 1) then Alcotest.fail "bounds not sorted"
+    done
+
+let prop_fraction_le_bounds =
+  QCheck.Test.make ~name:"fraction_le in [0,1]" ~count:300
+    QCheck.(pair (array_of_size (Gen.int_range 1 200) (int_range (-1000) 1000)) int)
+    (fun (values, v) ->
+      match Histogram.build values with
+      | None -> true
+      | Some h ->
+        let f = Histogram.fraction_le h v in
+        f >= 0.0 && f <= 1.0)
+
+let prop_fraction_le_monotone =
+  QCheck.Test.make ~name:"fraction_le monotone" ~count:300
+    QCheck.(
+      triple
+        (array_of_size (Gen.int_range 1 200) (int_range (-1000) 1000))
+        (int_range (-1100) 1100) (int_range 0 50))
+    (fun (values, v, delta) ->
+      match Histogram.build values with
+      | None -> true
+      | Some h -> Histogram.fraction_le h v <= Histogram.fraction_le h (v + delta))
+
+let test_histogram_accuracy_uniform () =
+  (* On uniform data with full-resolution buckets, range estimates should be
+     near exact. *)
+  let values = Array.init 10000 (fun i -> i mod 1000) in
+  match Histogram.build ~buckets:100 values with
+  | None -> Alcotest.fail "expected histogram"
+  | Some h ->
+    let est = Histogram.fraction_between h ~lo:0 ~hi:499 in
+    check Alcotest.bool "within 5% of 0.5" true (Float.abs (est -. 0.5) < 0.05)
+
+let test_histogram_extremes () =
+  let values = [| 10; 20; 30 |] in
+  match Histogram.build values with
+  | None -> Alcotest.fail "expected histogram"
+  | Some h ->
+    check (Alcotest.float 1e-9) "below min" 0.0 (Histogram.fraction_le h 5);
+    check (Alcotest.float 1e-9) "above max" 1.0 (Histogram.fraction_le h 100)
+
+let prop_between_subadditive =
+  QCheck.Test.make ~name:"fraction_between splits" ~count:200
+    QCheck.(array_of_size (Gen.int_range 2 100) (int_range 0 100))
+    (fun values ->
+      match Histogram.build values with
+      | None -> true
+      | Some h ->
+        let whole = Histogram.fraction_between h ~lo:0 ~hi:100 in
+        let a = Histogram.fraction_between h ~lo:0 ~hi:50 in
+        let b = Histogram.fraction_between h ~lo:51 ~hi:100 in
+        Float.abs (whole -. (a +. b)) < 1e-6)
+
+(* ---- Mcv ---- *)
+
+let test_mcv_frequencies () =
+  let values =
+    List.concat
+      [
+        List.init 50 (fun _ -> Value.Str "hot");
+        List.init 30 (fun _ -> Value.Str "warm");
+        List.init 20 (fun i -> Value.Str (Printf.sprintf "cold%d" i));
+      ]
+  in
+  let mcv = Mcv.build ~slots:5 values in
+  check (Alcotest.float 1e-9) "hot freq" 0.5
+    (Option.value ~default:0.0 (Mcv.frequency mcv (Value.Str "hot")));
+  check (Alcotest.float 1e-9) "warm freq" 0.3
+    (Option.value ~default:0.0 (Mcv.frequency mcv (Value.Str "warm")));
+  (* singletons (appearing once) never make the list *)
+  check (Alcotest.option (Alcotest.float 1e-9)) "cold absent" None
+    (Mcv.frequency mcv (Value.Str "cold3"))
+
+let test_mcv_total_le_one () =
+  let values = List.init 100 (fun i -> Value.Int (i mod 7)) in
+  let mcv = Mcv.build values in
+  check Alcotest.bool "total <= 1" true (Mcv.total_fraction mcv <= 1.0 +. 1e-9)
+
+let test_mcv_ignores_null () =
+  let values = [ Value.Null; Value.Null; Value.Int 1; Value.Int 1 ] in
+  let mcv = Mcv.build values in
+  check (Alcotest.option (Alcotest.float 1e-9)) "null not counted" None
+    (Mcv.frequency mcv Value.Null);
+  (* frequency of 1 is relative to non-null count *)
+  check (Alcotest.float 1e-9) "freq of 1" 1.0
+    (Option.value ~default:0.0 (Mcv.frequency mcv (Value.Int 1)))
+
+let prop_mcv_sorted_desc =
+  QCheck.Test.make ~name:"mcv entries sorted by frequency" ~count:200
+    QCheck.(list (int_range 0 10))
+    (fun ints ->
+      let mcv = Mcv.build (List.map (fun i -> Value.Int i) ints) in
+      let rec sorted = function
+        | (_, f1) :: ((_, f2) :: _ as rest) -> f1 >= f2 && sorted rest
+        | _ -> true
+      in
+      sorted (Mcv.entries mcv))
+
+(* ---- Analyze ---- *)
+
+let mk_table () =
+  let schema =
+    Schema.make
+      [
+        { Schema.name = "id"; ty = Value.Ty_int };
+        { Schema.name = "grp"; ty = Value.Ty_int };
+        { Schema.name = "label"; ty = Value.Ty_str };
+      ]
+  in
+  let n = 1000 in
+  Table.create ~name:"facts" ~schema
+    [|
+      Column.Ints (Array.init n Fun.id);
+      Column.Ints (Array.init n (fun i -> if i mod 10 = 0 then Column.null_int else i mod 5));
+      Column.Strs (Array.init n (fun i -> if i mod 2 = 0 then "even" else "odd"));
+    |]
+
+let test_analyze_id_column () =
+  let s = Analyze.column (mk_table ()) 0 in
+  check Alcotest.int "rows" 1000 s.Col_stats.row_count;
+  check Alcotest.int "distinct" 1000 s.Col_stats.n_distinct;
+  check (Alcotest.float 1e-9) "no nulls" 0.0 s.Col_stats.null_frac;
+  check (Alcotest.option Alcotest.int) "min" (Some 0) s.Col_stats.min_val;
+  check (Alcotest.option Alcotest.int) "max" (Some 999) s.Col_stats.max_val
+
+let test_analyze_group_column () =
+  let s = Analyze.column (mk_table ()) 1 in
+  check Alcotest.int "distinct groups" 5 s.Col_stats.n_distinct;
+  check (Alcotest.float 1e-3) "null fraction" 0.1 s.Col_stats.null_frac
+
+let test_analyze_string_column () =
+  let s = Analyze.column (mk_table ()) 2 in
+  check Alcotest.int "distinct labels" 2 s.Col_stats.n_distinct;
+  check (Alcotest.float 1e-9) "even freq" 0.5
+    (Option.value ~default:0.0 (Mcv.frequency s.Col_stats.mcv (Value.Str "even")))
+
+let test_db_stats_roundtrip () =
+  let t = mk_table () in
+  let cat = Catalog.create () in
+  Catalog.add_table cat t;
+  let store = Db_stats.create () in
+  Analyze.all cat store;
+  check Alcotest.bool "stats present" true (Db_stats.get store ~table:"facts" <> None);
+  (match Db_stats.col store ~table:"facts" ~col:0 with
+   | Some s -> check Alcotest.int "rows via store" 1000 s.Col_stats.row_count
+   | None -> Alcotest.fail "missing col stats");
+  Db_stats.drop store ~table:"facts";
+  check Alcotest.bool "dropped" true (Db_stats.get store ~table:"facts" = None)
+
+let test_trivial_stats () =
+  let t = mk_table () in
+  let store = Db_stats.create () in
+  let s = Db_stats.col_or_trivial store t 0 in
+  check Alcotest.int "trivial row count" 1000 s.Col_stats.row_count
+
+
+(* ---- Group_stats + Cords ---- *)
+
+let correlated_table () =
+  let n = 5000 in
+  let a = Array.init n (fun i -> i mod 10) in
+  let b = Array.map (fun v -> v / 2) a in  (* functional dependency a -> b *)
+  Table.create ~name:"corr"
+    ~schema:
+      (Schema.make
+         [
+           { Schema.name = "a"; ty = Value.Ty_int };
+           { Schema.name = "b"; ty = Value.Ty_int };
+         ])
+    [| Column.Ints a; Column.Ints b |]
+
+let independent_table () =
+  let n = 5000 in
+  Table.create ~name:"indep"
+    ~schema:
+      (Schema.make
+         [
+           { Schema.name = "a"; ty = Value.Ty_int };
+           { Schema.name = "b"; ty = Value.Ty_int };
+         ])
+    [| Column.Ints (Array.init n (fun i -> i mod 10));
+       Column.Ints (Array.init n (fun i -> (i / 10) mod 7)) |]
+
+let test_group_stats_joint () =
+  let t = correlated_table () in
+  let g = Rdb_stats.Group_stats.build t 0 1 in
+  check Alcotest.int "10 distinct pairs" 10 (Rdb_stats.Group_stats.n_distinct_pairs g);
+  (* P(a = 4 and b = 2) = 1/10 exactly *)
+  let sel =
+    Rdb_stats.Group_stats.joint_selectivity g
+      (Value.equal (Value.Int 4))
+      (Value.equal (Value.Int 2))
+      ~independent:(0.1 *. 0.2)
+  in
+  check (Alcotest.float 1e-6) "joint exact" 0.1 sel;
+  (* contradiction: a = 4 and b = 0 never co-occur *)
+  let zero =
+    Rdb_stats.Group_stats.joint_selectivity g
+      (Value.equal (Value.Int 4))
+      (Value.equal (Value.Int 0))
+      ~independent:(0.1 *. 0.2)
+  in
+  check Alcotest.bool "contradiction near zero" true (zero < 0.01)
+
+let test_group_stats_canonical_order () =
+  let t = correlated_table () in
+  let g = Rdb_stats.Group_stats.build t 1 0 in
+  check (Alcotest.pair Alcotest.int Alcotest.int) "normalized" (0, 1)
+    (Rdb_stats.Group_stats.cols g)
+
+let test_cords_detects_fd () =
+  let s = Rdb_stats.Cords.correlation_strength (correlated_table ()) 0 1 in
+  check Alcotest.bool "fd is strong" true (s > 0.5)
+
+let test_cords_independent_weak () =
+  let s = Rdb_stats.Cords.correlation_strength (independent_table ()) 0 1 in
+  check Alcotest.bool "independent is weak" true (s < 0.05)
+
+let test_cords_discover () =
+  let findings = Rdb_stats.Cords.discover ~threshold:0.5 (correlated_table ()) in
+  check Alcotest.int "one pair" 1 (List.length findings)
+
+let test_db_stats_groups () =
+  let t = correlated_table () in
+  let store = Db_stats.create () in
+  Db_stats.set_group store ~table:"corr" (Rdb_stats.Group_stats.build t 0 1);
+  check Alcotest.bool "lookup (0,1)" true
+    (Db_stats.group store ~table:"corr" ~cols:(0, 1) <> None);
+  check Alcotest.bool "lookup flipped" true
+    (Db_stats.group store ~table:"corr" ~cols:(1, 0) <> None);
+  check Alcotest.int "groups_of" 1 (List.length (Db_stats.groups_of store ~table:"corr"));
+  Db_stats.drop store ~table:"corr";
+  check Alcotest.bool "dropped with table" true
+    (Db_stats.group store ~table:"corr" ~cols:(0, 1) = None)
+
+let () =
+  Alcotest.run "rdb_stats"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "bounds sorted" `Quick test_histogram_bounds_sorted;
+          Alcotest.test_case "uniform accuracy" `Quick test_histogram_accuracy_uniform;
+          Alcotest.test_case "extremes" `Quick test_histogram_extremes;
+          qtest prop_fraction_le_bounds;
+          qtest prop_fraction_le_monotone;
+          qtest prop_between_subadditive;
+        ] );
+      ( "mcv",
+        [
+          Alcotest.test_case "frequencies" `Quick test_mcv_frequencies;
+          Alcotest.test_case "total <= 1" `Quick test_mcv_total_le_one;
+          Alcotest.test_case "ignores null" `Quick test_mcv_ignores_null;
+          qtest prop_mcv_sorted_desc;
+        ] );
+      ( "group_stats",
+        [
+          Alcotest.test_case "joint selectivity" `Quick test_group_stats_joint;
+          Alcotest.test_case "canonical order" `Quick test_group_stats_canonical_order;
+          Alcotest.test_case "db_stats groups" `Quick test_db_stats_groups;
+        ] );
+      ( "cords",
+        [
+          Alcotest.test_case "detects FD" `Quick test_cords_detects_fd;
+          Alcotest.test_case "independent weak" `Quick test_cords_independent_weak;
+          Alcotest.test_case "discover" `Quick test_cords_discover;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "id column" `Quick test_analyze_id_column;
+          Alcotest.test_case "group column" `Quick test_analyze_group_column;
+          Alcotest.test_case "string column" `Quick test_analyze_string_column;
+          Alcotest.test_case "db stats roundtrip" `Quick test_db_stats_roundtrip;
+          Alcotest.test_case "trivial fallback" `Quick test_trivial_stats;
+        ] );
+    ]

@@ -1,0 +1,280 @@
+module Prng = Rdb_util.Prng
+module Zipf = Rdb_util.Zipf
+module Relset = Rdb_util.Relset
+module Int_vec = Rdb_util.Int_vec
+module Stat_utils = Rdb_util.Stat_utils
+module Pretty = Rdb_util.Pretty
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- Prng ---- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 123 and b = Prng.create 123 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.next_int64 a <> Prng.next_int64 b then differs := true
+  done;
+  check Alcotest.bool "different seeds differ" true !differs
+
+let test_prng_split_independent () =
+  let root = Prng.create 7 in
+  let child = Prng.split root in
+  let a = Prng.next_int64 child and b = Prng.next_int64 root in
+  check Alcotest.bool "split streams differ" true (a <> b)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Prng.int stays in bounds" ~count:1000
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let prng = Prng.create seed in
+      let v = Prng.int prng bound in
+      v >= 0 && v < bound)
+
+let prop_int_in_range =
+  QCheck.Test.make ~name:"Prng.int_in stays in range" ~count:1000
+    QCheck.(triple small_int (int_range (-100) 100) (int_range 0 1000))
+    (fun (seed, lo, extent) ->
+      let prng = Prng.create seed in
+      let v = Prng.int_in prng lo (lo + extent) in
+      v >= lo && v <= lo + extent)
+
+let prop_float_bounds =
+  QCheck.Test.make ~name:"Prng.float in [0, bound)" ~count:1000
+    QCheck.(pair small_int (float_range 0.001 1000.0))
+    (fun (seed, bound) ->
+      let prng = Prng.create seed in
+      let v = Prng.float prng bound in
+      v >= 0.0 && v < bound)
+
+let test_shuffle_permutation () =
+  let prng = Prng.create 99 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle prng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  check (Alcotest.array Alcotest.int) "still a permutation"
+    (Array.init 50 Fun.id) sorted
+
+(* ---- Zipf ---- *)
+
+let test_zipf_pmf_sums_to_one () =
+  let z = Zipf.create ~n:100 ~s:1.1 in
+  let total = ref 0.0 in
+  for k = 0 to 99 do
+    total := !total +. Zipf.pmf z k
+  done;
+  check (Alcotest.float 1e-9) "pmf sums to 1" 1.0 !total
+
+let test_zipf_cdf_monotone () =
+  let z = Zipf.create ~n:50 ~s:0.8 in
+  for k = 1 to 49 do
+    if Zipf.cdf z k < Zipf.cdf z (k - 1) then
+      Alcotest.fail "cdf not monotone"
+  done
+
+let test_zipf_rank0_most_frequent () =
+  let z = Zipf.create ~n:20 ~s:1.0 in
+  for k = 1 to 19 do
+    if Zipf.pmf z k > Zipf.pmf z 0 then Alcotest.fail "rank 0 not maximal"
+  done
+
+let test_zipf_skew_increases_with_s () =
+  let flat = Zipf.create ~n:100 ~s:0.1 and steep = Zipf.create ~n:100 ~s:2.0 in
+  check Alcotest.bool "steeper s concentrates rank 0" true
+    (Zipf.pmf steep 0 > Zipf.pmf flat 0)
+
+let prop_zipf_samples_in_range =
+  QCheck.Test.make ~name:"Zipf.sample in [0, n)" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let prng = Prng.create seed in
+      let z = Zipf.create ~n ~s:1.2 in
+      let v = Zipf.sample z prng in
+      v >= 0 && v < n)
+
+let test_zipf_uniform_when_s_zero () =
+  let z = Zipf.create ~n:10 ~s:0.0 in
+  for k = 0 to 9 do
+    check (Alcotest.float 1e-9) "uniform pmf" 0.1 (Zipf.pmf z k)
+  done
+
+(* ---- Relset ---- *)
+
+let set_of = Relset.of_list
+
+let test_relset_basics () =
+  let s = set_of [ 1; 3; 5 ] in
+  check Alcotest.int "cardinal" 3 (Relset.cardinal s);
+  check Alcotest.bool "mem 3" true (Relset.mem 3 s);
+  check Alcotest.bool "not mem 2" false (Relset.mem 2 s);
+  check Alcotest.int "min_elt" 1 (Relset.min_elt s);
+  check (Alcotest.list Alcotest.int) "to_list sorted" [ 1; 3; 5 ]
+    (Relset.to_list s)
+
+let test_relset_ops () =
+  let a = set_of [ 0; 1; 2 ] and b = set_of [ 2; 3 ] in
+  check (Alcotest.list Alcotest.int) "union" [ 0; 1; 2; 3 ]
+    (Relset.to_list (Relset.union a b));
+  check (Alcotest.list Alcotest.int) "inter" [ 2 ]
+    (Relset.to_list (Relset.inter a b));
+  check (Alcotest.list Alcotest.int) "diff" [ 0; 1 ]
+    (Relset.to_list (Relset.diff a b))
+
+let test_relset_full_below () =
+  check (Alcotest.list Alcotest.int) "full 3" [ 0; 1; 2 ]
+    (Relset.to_list (Relset.full 3));
+  check (Alcotest.list Alcotest.int) "below 2" [ 0; 1 ]
+    (Relset.to_list (Relset.below 2))
+
+let test_relset_subsets_count () =
+  let s = set_of [ 0; 2; 4 ] in
+  let count = ref 0 in
+  Relset.iter_subsets s (fun sub ->
+      incr count;
+      if not (Relset.subset sub s) then Alcotest.fail "subset escapes");
+  check Alcotest.int "2^3 - 1 non-empty subsets" 7 !count
+
+let test_relset_empty_subsets () =
+  let count = ref 0 in
+  Relset.iter_subsets Relset.empty (fun _ -> incr count);
+  check Alcotest.int "no subsets of empty" 0 !count
+
+let small_set =
+  QCheck.map
+    (fun l -> set_of (List.map (fun i -> abs i mod 20) l))
+    QCheck.(small_list small_int)
+
+let prop_union_cardinal =
+  QCheck.Test.make ~name:"|a∪b| = |a| + |b| - |a∩b|" ~count:500
+    (QCheck.pair small_set small_set)
+    (fun (a, b) ->
+      Relset.cardinal (Relset.union a b)
+      = Relset.cardinal a + Relset.cardinal b
+        - Relset.cardinal (Relset.inter a b))
+
+let prop_diff_disjoint =
+  QCheck.Test.make ~name:"a∖b disjoint from b" ~count:500
+    (QCheck.pair small_set small_set)
+    (fun (a, b) -> Relset.is_empty (Relset.inter (Relset.diff a b) b))
+
+let prop_fold_iter_agree =
+  QCheck.Test.make ~name:"fold and to_list agree" ~count:500 small_set
+    (fun s ->
+      Relset.fold (fun _ acc -> acc + 1) s 0 = List.length (Relset.to_list s))
+
+(* ---- Int_vec ---- *)
+
+let test_int_vec_push_get () =
+  let v = Int_vec.create ~capacity:2 () in
+  for i = 0 to 99 do
+    Int_vec.push v (i * i)
+  done;
+  check Alcotest.int "length" 100 (Int_vec.length v);
+  check Alcotest.int "get 7" 49 (Int_vec.get v 7);
+  check Alcotest.int "to_array length" 100 (Array.length (Int_vec.to_array v))
+
+let test_int_vec_clear () =
+  let v = Int_vec.create () in
+  Int_vec.push v 1;
+  Int_vec.clear v;
+  check Alcotest.int "cleared" 0 (Int_vec.length v)
+
+(* ---- Stat_utils ---- *)
+
+let test_q_error_symmetric () =
+  check (Alcotest.float 1e-9) "over = under"
+    (Stat_utils.q_error ~est:10.0 ~actual:100.0)
+    (Stat_utils.q_error ~est:100.0 ~actual:10.0)
+
+let test_q_error_floor () =
+  check (Alcotest.float 1e-9) "clamps zero actual"
+    (Stat_utils.q_error ~est:5.0 ~actual:0.0)
+    5.0
+
+let prop_q_error_ge_one =
+  QCheck.Test.make ~name:"q_error >= 1" ~count:500
+    QCheck.(pair (float_range 0.0 1e6) (float_range 0.0 1e6))
+    (fun (est, actual) -> Stat_utils.q_error ~est ~actual >= 1.0)
+
+let test_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  check (Alcotest.float 1e-9) "p50" 3.0 (Stat_utils.percentile 50.0 xs);
+  check (Alcotest.float 1e-9) "p100" 5.0 (Stat_utils.percentile 100.0 xs)
+
+let test_means () =
+  check (Alcotest.float 1e-9) "mean" 2.0 (Stat_utils.mean [ 1.0; 2.0; 3.0 ]);
+  check (Alcotest.float 1e-9) "geomean" 2.0
+    (Stat_utils.geometric_mean [ 1.0; 2.0; 4.0 ] /. 1.0
+     |> fun x -> Float.round (x *. 1e9) /. 1e9)
+
+(* ---- Pretty ---- *)
+
+let test_pretty_table () =
+  let s = Pretty.table ~headers:[ "a"; "b" ] [ [ "1"; "22" ]; [ "333" ] ] in
+  check Alcotest.bool "contains header" true
+    (String.length s > 0 && String.sub s 0 1 = "|")
+
+let test_pretty_ms () =
+  check Alcotest.string "ms" "12.00ms" (Pretty.ms 12.0);
+  check Alcotest.string "s" "1.50s" (Pretty.ms 1500.0)
+
+let () =
+  Alcotest.run "rdb_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutation;
+          qtest prop_int_in_bounds;
+          qtest prop_int_in_range;
+          qtest prop_float_bounds;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "pmf sums to 1" `Quick test_zipf_pmf_sums_to_one;
+          Alcotest.test_case "cdf monotone" `Quick test_zipf_cdf_monotone;
+          Alcotest.test_case "rank 0 most frequent" `Quick test_zipf_rank0_most_frequent;
+          Alcotest.test_case "skew grows with s" `Quick test_zipf_skew_increases_with_s;
+          Alcotest.test_case "s=0 uniform" `Quick test_zipf_uniform_when_s_zero;
+          qtest prop_zipf_samples_in_range;
+        ] );
+      ( "relset",
+        [
+          Alcotest.test_case "basics" `Quick test_relset_basics;
+          Alcotest.test_case "set ops" `Quick test_relset_ops;
+          Alcotest.test_case "full/below" `Quick test_relset_full_below;
+          Alcotest.test_case "subset enumeration" `Quick test_relset_subsets_count;
+          Alcotest.test_case "empty has no subsets" `Quick test_relset_empty_subsets;
+          qtest prop_union_cardinal;
+          qtest prop_diff_disjoint;
+          qtest prop_fold_iter_agree;
+        ] );
+      ( "int_vec",
+        [
+          Alcotest.test_case "push/get/grow" `Quick test_int_vec_push_get;
+          Alcotest.test_case "clear" `Quick test_int_vec_clear;
+        ] );
+      ( "stat_utils",
+        [
+          Alcotest.test_case "q_error symmetric" `Quick test_q_error_symmetric;
+          Alcotest.test_case "q_error floors zeros" `Quick test_q_error_floor;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "means" `Quick test_means;
+          qtest prop_q_error_ge_one;
+        ] );
+      ( "pretty",
+        [
+          Alcotest.test_case "table" `Quick test_pretty_table;
+          Alcotest.test_case "ms" `Quick test_pretty_ms;
+        ] );
+    ]
