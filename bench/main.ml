@@ -7,10 +7,14 @@
      dune exec bench/main.exe -- fig2 table1      # selected experiments
      dune exec bench/main.exe -- micro            # micro-benchmarks only
      dune exec bench/main.exe -- --scale 1.0 all  # bigger database
+     dune exec bench/main.exe -- --jobs 4 all     # 4 domains (0 = all cores)
 
    The default scale factor is 0.3 so the complete suite finishes in
    ~20 minutes on one core; every shape discussed in EXPERIMENTS.md is
-   stable from ~0.2 upward.
+   stable from ~0.2 upward. --jobs N shards the experiments' (config,
+   query) grids across N domains; the reported work units, caps and
+   re-optimization steps are byte-identical to a sequential run (only
+   wall-clock figures move).
 *)
 
 module Runner = Rdb_harness.Runner
@@ -108,6 +112,7 @@ let run_micro () =
 let () =
   let scale = ref 0.3 in
   let seed = ref 42 in
+  let jobs = ref 1 in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -117,16 +122,21 @@ let () =
     | "--seed" :: v :: rest ->
       seed := int_of_string v;
       parse rest
+    | "--jobs" :: v :: rest ->
+      jobs := int_of_string v;
+      parse rest
     | name :: rest ->
       selected := name :: !selected;
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let jobs = if !jobs = 0 then Rdb_util.Pool.default_jobs () else !jobs in
   let selected =
     match List.rev !selected with [] | [ "all" ] -> Experiments.names @ [ "micro" ] | l -> l
   in
   let lab = lazy (
-    Printf.printf "building lab: scale=%g seed=%d ...\n%!" !scale !seed;
+    Printf.printf "building lab: scale=%g seed=%d jobs=%d ...\n%!"
+      !scale !seed jobs;
     let t0 = Unix.gettimeofday () in
     let lab = Runner.create_lab ~seed:!seed ~scale:!scale () in
     Printf.printf "lab ready in %.1fs (113 queries bound)\n\n%!"
@@ -140,7 +150,7 @@ let () =
        | "micro" -> run_micro ()
        | "table3" -> print_endline (Experiments.table3 ())
        | "skew" -> print_endline (Experiments.skew_example ())
-       | name -> print_endline (Experiments.run (Lazy.force lab) name));
+       | name -> print_endline (Experiments.run ~jobs (Lazy.force lab) name));
       Printf.printf "[%s done in %.1fs]\n\n%!" name
         (Unix.gettimeofday () -. t0))
     selected

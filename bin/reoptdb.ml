@@ -170,15 +170,22 @@ let cmd_experiment =
            ~doc:(Printf.sprintf "One of: %s."
                    (String.concat ", " Rdb_harness.Experiments.names)))
   in
-  let run name scale seed =
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Shard the experiment's (config, query) grid across N \
+                 domains (0 = one per core). Deterministic measurements \
+                 are identical to a sequential run.")
+  in
+  let run name scale seed jobs =
+    let jobs = if jobs = 0 then Rdb_util.Pool.default_jobs () else jobs in
     let lab = Rdb_harness.Runner.create_lab ~seed ~scale () in
     (try
-       print_endline (Rdb_harness.Experiments.run lab name);
+       print_endline (Rdb_harness.Experiments.run ~jobs lab name);
        0
      with Invalid_argument e -> prerr_endline e; 1)
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables/figures.")
-    Term.(const run $ exp_pos $ scale_arg $ seed_arg)
+    Term.(const run $ exp_pos $ scale_arg $ seed_arg $ jobs_arg)
 
 let () =
   let info =

@@ -20,6 +20,14 @@ type t = {
 let create ?(cost_params = Rdb_cost.Cost_model.default) catalog =
   { catalog; stats = Db_stats.create (); cost_params; temp_counter = 0 }
 
+let with_stats_of parent =
+  {
+    catalog = Catalog.copy parent.catalog;
+    stats = Db_stats.copy parent.stats;
+    cost_params = parent.cost_params;
+    temp_counter = 0;
+  }
+
 let catalog t = t.catalog
 let stats t = t.stats
 let cost_params t = t.cost_params

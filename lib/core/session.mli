@@ -19,6 +19,15 @@ type t
 val create : ?cost_params:Rdb_cost.Cost_model.params -> Catalog.t -> t
 (** Wrap a populated catalog. Statistics start empty: call {!analyze}. *)
 
+val with_stats_of : t -> t
+(** A fresh session for another domain of the parallel runner: shallow
+    copies of the parent's catalog and statistics (table, index and
+    per-column statistic values are shared — all immutable once built),
+    the same cost parameters, and a private temp-table counter. The clone
+    skips re-running ANALYZE, and re-optimization temp tables it creates
+    never touch the parent, so clones are safe to drive concurrently as
+    long as the parent's base tables are not mutated underneath them. *)
+
 val catalog : t -> Catalog.t
 val stats : t -> Db_stats.t
 val cost_params : t -> Rdb_cost.Cost_model.params

@@ -1,0 +1,217 @@
+module Relset = Rdb_util.Relset
+module Query = Rdb_query.Query
+module Predicate = Rdb_query.Predicate
+
+type result = {
+  aggs : Value.t list;
+  out_rows : int;
+}
+
+let rel_table catalog (q : Query.t) rel =
+  Catalog.table_exn catalog q.Query.rels.(rel).Query.table
+
+(* Row ids of one relation surviving its own predicates. *)
+let filtered_rows catalog q rel =
+  let tbl = rel_table catalog q rel in
+  let preds = Query.preds_of_cols q rel in
+  let survives row =
+    List.for_all
+      (fun (col, p) ->
+        match Table.column tbl col with
+        | Column.Ints cells -> Predicate.eval_int p cells.(row)
+        | Column.Strs cells -> Predicate.eval_str p cells.(row))
+      preds
+  in
+  let out = ref [] in
+  for row = Table.nrows tbl - 1 downto 0 do
+    if survives row then out := row :: !out
+  done;
+  Array.of_list !out
+
+(* A connectivity order over the set: start at the smallest filtered
+   relation, repeatedly append a relation joined to the ones already
+   placed (smallest first), falling back to any remaining relation when
+   the set is disconnected. Pure pruning — the enumerated tuple set is
+   the filtered cross product either way. *)
+let enum_order (q : Query.t) s nrows_of =
+  let joined_to bound i =
+    List.exists
+      (fun { Query.l; r } ->
+        (l.Query.rel = i && Relset.mem r.Query.rel bound)
+        || (r.Query.rel = i && Relset.mem l.Query.rel bound))
+      q.Query.edges
+  in
+  let smallest = function
+    | [] -> None
+    | c :: rest ->
+      Some (List.fold_left (fun b i -> if nrows_of i < nrows_of b then i else b) c rest)
+  in
+  match Relset.to_list s with
+  | [] -> []
+  | members ->
+    let start = Option.get (smallest members) in
+    let rec grow bound acc remaining =
+      match remaining with
+      | [] -> List.rev acc
+      | _ ->
+        let connected, rest = List.partition (joined_to bound) remaining in
+        let next =
+          match smallest connected with
+          | Some i -> i
+          | None -> Option.get (smallest rest)
+        in
+        grow (Relset.add next bound) (next :: acc)
+          (List.filter (fun i -> i <> next) remaining)
+    in
+    grow (Relset.singleton start)  [ start ]
+      (List.filter (fun i -> i <> start) members)
+
+(* Enumerate every joined tuple of the sub-query over [s], calling
+   [f chosen] with [chosen.(rel)] the row id bound for each member. *)
+let iter_tuples catalog (q : Query.t) s f =
+  let n = Query.n_rels q in
+  let tables = Array.init n (rel_table catalog q) in
+  let rows = Array.make n [||] in
+  Relset.iter (fun rel -> rows.(rel) <- filtered_rows catalog q rel) s;
+  let order = enum_order q s (fun rel -> Array.length rows.(rel)) in
+  (* Per level: the edges internal to [s] connecting the level's relation
+     to relations placed earlier, as (own column, other endpoint). *)
+  let levels =
+    let rec build bound = function
+      | [] -> []
+      | rel :: rest ->
+        let checks =
+          List.filter_map
+            (fun { Query.l; r } ->
+              if l.Query.rel = rel && Relset.mem r.Query.rel bound then
+                Some (l.Query.col, r)
+              else if r.Query.rel = rel && Relset.mem l.Query.rel bound then
+                Some (r.Query.col, l)
+              else None)
+            q.Query.edges
+        in
+        (rel, checks) :: build (Relset.add rel bound) rest
+    in
+    build Relset.empty order
+  in
+  let chosen = Array.make n (-1) in
+  let rec go = function
+    | [] -> f chosen
+    | (rel, checks) :: deeper ->
+      Array.iter
+        (fun row ->
+          let ok =
+            List.for_all
+              (fun (col, (other : Query.colref)) ->
+                let mine = Table.int_cell tables.(rel) ~row ~col in
+                let theirs =
+                  Table.int_cell tables.(other.Query.rel)
+                    ~row:chosen.(other.Query.rel) ~col:other.Query.col
+                in
+                mine <> Column.null_int
+                && theirs <> Column.null_int
+                && mine = theirs)
+              checks
+          in
+          if ok then begin
+            chosen.(rel) <- row;
+            go deeper;
+            chosen.(rel) <- -1
+          end)
+        rows.(rel)
+  in
+  go levels
+
+let count ~catalog q s =
+  let n = ref 0 in
+  iter_tuples catalog q s (fun _ -> incr n);
+  !n
+
+let run ~catalog (q : Query.t) =
+  let tables = Array.init (Query.n_rels q) (rel_table catalog q) in
+  let value_of chosen (cr : Query.colref) =
+    Table.value tables.(cr.Query.rel) ~row:chosen.(cr.Query.rel) ~col:cr.Query.col
+  in
+  (* One mutable accumulator per aggregate, same semantics as the
+     executor: COUNT(col) skips NULLs, MIN/MAX skip NULLs, SUM skips
+     NULLs and requires integers. *)
+  let out_rows = ref 0 in
+  let extremes = Hashtbl.create 4 in
+  let ints = Hashtbl.create 4 in
+  List.iteri
+    (fun i agg ->
+      match agg with
+      | Query.Min_col _ | Query.Max_col _ -> Hashtbl.replace extremes i (ref Value.Null)
+      | Query.Count_star | Query.Count_col _ | Query.Sum_col _ ->
+        Hashtbl.replace ints i (ref 0))
+    q.Query.select;
+  iter_tuples catalog q (Query.all_rels q) (fun chosen ->
+      incr out_rows;
+      List.iteri
+        (fun i agg ->
+          match agg with
+          | Query.Count_star -> incr (Hashtbl.find ints i)
+          | Query.Count_col cr ->
+            if not (Value.is_null (value_of chosen cr)) then
+              incr (Hashtbl.find ints i)
+          | Query.Sum_col cr ->
+            (match value_of chosen cr with
+             | Value.Int v ->
+               let acc = Hashtbl.find ints i in
+               acc := !acc + v
+             | Value.Null -> ()
+             | Value.Str _ -> invalid_arg "Naive: SUM over a string column")
+          | Query.Min_col cr | Query.Max_col cr ->
+            let v = value_of chosen cr in
+            if not (Value.is_null v) then begin
+              let best = Hashtbl.find extremes i in
+              let keep =
+                match agg with Query.Min_col _ -> ( < ) | _ -> ( > )
+              in
+              match !best with
+              | Value.Null -> best := v
+              | b -> if keep (Value.compare v b) 0 then best := v
+            end)
+        q.Query.select);
+  let aggs =
+    List.mapi
+      (fun i agg ->
+        match agg with
+        | Query.Min_col _ | Query.Max_col _ -> !(Hashtbl.find extremes i)
+        | Query.Count_star | Query.Count_col _ | Query.Sum_col _ ->
+          Value.Int !(Hashtbl.find ints i))
+      q.Query.select
+  in
+  { aggs; out_rows = !out_rows }
+
+let agrees ~catalog q (res : Executor.result) =
+  let expected = run ~catalog q in
+  if res.Executor.out_rows <> expected.out_rows then
+    Error
+      (Printf.sprintf "%s: out_rows %d (executor) vs %d (oracle)"
+         q.Query.name res.Executor.out_rows expected.out_rows)
+  else if
+    not (List.equal Value.equal res.Executor.aggs expected.aggs)
+  then
+    Error
+      (Printf.sprintf "%s: aggregates [%s] (executor) vs [%s] (oracle)"
+         q.Query.name
+         (String.concat "; " (List.map Value.to_string res.Executor.aggs))
+         (String.concat "; " (List.map Value.to_string expected.aggs)))
+  else
+    List.fold_left
+      (fun acc (obs : Executor.node_obs) ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          let actual = count ~catalog q obs.Executor.obs_set in
+          if actual <> obs.Executor.obs_actual then
+            Error
+              (Printf.sprintf
+                 "%s: node %s over {%s}: %d rows (executor) vs %d (oracle)"
+                 q.Query.name obs.Executor.obs_label
+                 (String.concat ","
+                    (List.map string_of_int (Relset.to_list obs.Executor.obs_set)))
+                 obs.Executor.obs_actual actual)
+          else Ok ())
+      (Ok ()) res.Executor.observations

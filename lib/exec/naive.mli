@@ -1,0 +1,34 @@
+(** The differential-testing oracle: a brute-force evaluator that computes
+    query results from first principles — filter each relation by its
+    predicates, then enumerate the cross product and keep the tuples on
+    which every equi-join edge holds. No indexes, no statistics, no plan:
+    nothing the optimizer or executor could get wrong is consulted, so any
+    disagreement with {!Executor} is a bug in the engine under test.
+
+    Enumeration walks relations in a connectivity order and prunes partial
+    tuples as soon as a bound edge fails — the same result set as the
+    literal cross-product-then-filter, reachable at test scale. Join
+    semantics mirror the executor's: a NULL join key matches nothing. *)
+
+module Relset = Rdb_util.Relset
+module Query := Rdb_query.Query
+
+type result = {
+  aggs : Value.t list;  (** one value per aggregate, as {!Executor.result} *)
+  out_rows : int;       (** tuples feeding the aggregates *)
+}
+
+val run : catalog:Catalog.t -> Query.t -> result
+(** Evaluate the whole query. *)
+
+val count : catalog:Catalog.t -> Query.t -> Relset.t -> int
+(** Rows of the sub-join over the given relations: their predicates plus
+    every edge internal to the set — exactly what a plan node covering the
+    set must produce ([obs_actual]), since the optimizer attaches all
+    crossing edges to each join. *)
+
+val agrees :
+  catalog:Catalog.t -> Query.t -> Executor.result -> (unit, string) Stdlib.result
+(** Cross-check an executor result against the oracle: aggregates,
+    [out_rows], and the [obs_actual] of every observed plan node. [Error]
+    carries a human-readable description of the first mismatch. *)

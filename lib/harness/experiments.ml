@@ -111,7 +111,7 @@ let fig1_configs =
     Runner.Perfect_all;
   ]
 
-let fig1 lab =
+let top20_queries lab =
   let default = Runner.run_workload lab Runner.Default in
   let by_exec =
     List.sort
@@ -119,10 +119,11 @@ let fig1 lab =
         Float.compare b.Runner.m_exec_ms a.Runner.m_exec_ms)
       default
   in
-  let top20 =
-    List.filteri (fun i _ -> i < 20) by_exec
-    |> List.map (fun (m : Runner.measurement) -> m.Runner.m_query)
-  in
+  List.filteri (fun i _ -> i < 20) by_exec
+  |> List.map (fun (m : Runner.measurement) -> m.Runner.m_query)
+
+let fig1 lab =
+  let top20 = top20_queries lab in
   let rows =
     List.map
       (fun config ->
@@ -397,8 +398,10 @@ let fig6 lab =
 
 (* ---- Figure 7 ---- *)
 
+let fig7_thresholds = [ 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0 ]
+
 let fig7 lab =
-  let thresholds = [ 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0 ] in
+  let thresholds = fig7_thresholds in
   let row config =
     let ms = Runner.run_workload lab config in
     [
@@ -592,6 +595,16 @@ let cords_ablation () =
 
 (* ---- sampling-based estimation (SS II-C) ---- *)
 
+let sampling_configs =
+  [
+    Runner.Default;
+    Runner.Sampling_est 128;
+    Runner.Sampling_est 512;
+    Runner.Sampling_est 2048;
+    Runner.Reopt 32.0;
+    Runner.Perfect_all;
+  ]
+
 let sampling lab =
   let rows =
     List.map
@@ -603,14 +616,7 @@ let sampling lab =
           fmt_total (Runner.total_exec_ms ms);
           fmt_total (Runner.total_plan_ms ms +. Runner.total_exec_ms ms);
         ])
-      [
-        Runner.Default;
-        Runner.Sampling_est 128;
-        Runner.Sampling_est 512;
-        Runner.Sampling_est 2048;
-        Runner.Reopt 32.0;
-        Runner.Perfect_all;
-      ]
+      sampling_configs
   in
   Pretty.heading
     "Sampling ablation: index-based join sampling vs default, re-opt and perfect"
@@ -623,6 +629,16 @@ let sampling lab =
 
 (* ---- Rio-style proactive planning (SS V / conclusion) ---- *)
 
+let robust_configs =
+  [
+    Runner.Default;
+    Runner.Robust 2.0;
+    Runner.Robust 4.0;
+    Runner.Robust 8.0;
+    Runner.Reopt 32.0;
+    Runner.Perfect_all;
+  ]
+
 let robust lab =
   let rows =
     List.map
@@ -634,14 +650,7 @@ let robust lab =
           fmt_total (Runner.total_exec_ms ms);
           fmt_total (Runner.total_plan_ms ms +. Runner.total_exec_ms ms);
         ])
-      [
-        Runner.Default;
-        Runner.Robust 2.0;
-        Runner.Robust 4.0;
-        Runner.Robust 8.0;
-        Runner.Reopt 32.0;
-        Runner.Perfect_all;
-      ]
+      robust_configs
   in
   Pretty.heading
     "Robust-planning ablation: Rio-style worst-case plans vs default, re-opt, perfect"
@@ -750,6 +759,9 @@ let leo lab =
 
 (* ---- adaptive operator selection (SS II-D) ---- *)
 
+let adaptive_configs =
+  [ Runner.Default; Runner.Adaptive; Runner.Reopt 32.0; Runner.Perfect_all ]
+
 let adaptive lab =
   let rows =
     List.map
@@ -759,7 +771,7 @@ let adaptive lab =
           Runner.config_name config;
           fmt_total (Runner.total_exec_ms ms);
         ])
-      [ Runner.Default; Runner.Adaptive; Runner.Reopt 32.0; Runner.Perfect_all ]
+      adaptive_configs
   in
   Pretty.heading
     "Adaptive-execution ablation: runtime operator switching vs re-optimization"
@@ -768,6 +780,47 @@ let adaptive lab =
   ^ "\n(operator switching cannot change join order -- SS II-D's limitation -- so it recovers\n only part of what re-optimization does)\n"
 
 (* ---- driver ---- *)
+
+(* The grid of (config, query) cells an experiment will measure — what a
+   multi-domain prewarm can compute ahead of time. Experiments whose cost
+   is not in workload cells (planning-only sweeps, self-contained demos)
+   have nothing to prewarm. *)
+let grid_configs lab name =
+  let n_max = max_rels lab in
+  let perfect_sweep = List.init (n_max + 1) (perfect_config lab) in
+  match name with
+  | "table2" -> [ Runner.Perfect_all; Runner.Default ]
+  | "table6" -> [ Runner.Perfect_all; Runner.Reopt 32.0 ]
+  | "fig2" -> perfect_sweep
+  | "fig5" -> [ Runner.Perfect_all ]
+  | "fig7" ->
+    (Runner.Default :: List.map (fun thr -> Runner.Reopt thr) fig7_thresholds)
+    @ [ Runner.Perfect_all ]
+  | "fig8" ->
+    perfect_sweep
+    @ Runner.Reopt 32.0
+      :: List.filter_map
+           (fun n -> if n = 0 then None else Some (Runner.Perfect_reopt (n, 32.0)))
+           (List.init (n_max + 1) Fun.id)
+  | "fig9" -> [ Runner.Default; Runner.Reopt 32.0; Runner.Perfect_all ]
+  | "sampling" -> sampling_configs
+  | "robust" -> robust_configs
+  | "adaptive" -> adaptive_configs
+  | _ -> []
+
+let prewarm ~jobs lab name =
+  if jobs > 1 then
+    match name with
+    | "fig1" ->
+      (* fig1 measures only the top-20 queries by default execution, so
+         the default workload must land first to pick them. *)
+      ignore (Runner.run_grid ~jobs lab [ Runner.Default ]);
+      let top20 = List.map (Runner.query lab) (top20_queries lab) in
+      ignore (Runner.run_grid ~jobs ~queries:top20 lab fig1_configs)
+    | name ->
+      (match grid_configs lab name with
+       | [] -> ()
+       | configs -> ignore (Runner.run_grid ~jobs lab configs))
 
 let named =
   [
@@ -794,11 +847,13 @@ let named =
 
 let names = List.map fst named
 
-let run lab name =
+let run ?(jobs = 1) lab name =
   match List.assoc_opt name named with
-  | Some (`Lab f) -> f lab
+  | Some (`Lab f) ->
+    prewarm ~jobs lab name;
+    f lab
   | Some (`Unit f) -> f ()
   | None -> invalid_arg ("Experiments.run: unknown experiment " ^ name)
 
-let all lab =
-  String.concat "\n\n" (List.map (fun name -> run lab name) names)
+let all ?jobs lab =
+  String.concat "\n\n" (List.map (fun name -> run ?jobs lab name) names)

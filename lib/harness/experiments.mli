@@ -51,15 +51,18 @@ val fig9 : Runner.lab -> string
 (** Per-query execution time: default vs re-optimized vs perfect, ordered
     by default execution time. *)
 
-val all : Runner.lab -> string
+val all : ?jobs:int -> Runner.lab -> string
 (** Every experiment, in paper order. *)
 
 val names : string list
 (** Experiment selector names accepted by {!run}. *)
 
-val run : Runner.lab -> string -> string
+val run : ?jobs:int -> Runner.lab -> string -> string
 (** Run one experiment by name; raises [Invalid_argument] for unknown
-    names. *)
+    names. With [jobs > 1] the experiment's (config, query) grid is first
+    computed in parallel through {!Runner.run_grid} — the report itself is
+    then assembled from the lab's cache, so its deterministic content is
+    identical to a sequential run. *)
 
 val cords_ablation : unit -> string
 (** §IV-B ablation: CORDS-discovered column-group statistics fix same-table

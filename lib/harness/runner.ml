@@ -165,17 +165,102 @@ let run_query lab config q =
   | Some m -> m
   | None ->
     let m =
-      match config with
-      | Default | Perfect _ | Perfect_all | Sampling_est _ | Robust _
-      | Adaptive ->
-        measure_plain lab config q
-      | Reopt thr | Perfect_reopt (_, thr) -> measure_reopt lab config q thr
+      (* A budget blowup anywhere in a cell — including the paths outside
+         measure_*'s own guards, like planning-time sampling probes — must
+         cap that one cell, never abort the whole sweep. *)
+      try
+        match config with
+        | Default | Perfect _ | Perfect_all | Sampling_est _ | Robust _
+        | Adaptive ->
+          measure_plain lab config q
+        | Reopt thr | Perfect_reopt (_, thr) -> measure_reopt lab config q thr
+      with Executor.Work_budget_exceeded { spent; elapsed_ms } ->
+        {
+          m_query = q.Query.name;
+          m_rels = Query.n_rels q;
+          m_plan_ms = 0.0;
+          m_exec_ms = elapsed_ms;
+          m_work = spent;
+          m_capped = true;
+          m_steps = 0;
+        }
     in
     Hashtbl.replace lab.cache key m;
     m
 
 let run_workload lab config =
   List.map (fun q -> run_query lab config q) lab.queries
+
+(* ---- domain-parallel grid driving ---- *)
+
+(* A worker's private lab: a cloned session over the shared immutable
+   tables and statistics (no re-ANALYZE), fresh prepared/measurement
+   caches. Clones exist because cells mutate their session: Reopt.run
+   creates temp tables and Session caches per-query oracles. *)
+let clone_lab lab =
+  {
+    session = Session.with_stats_of lab.session;
+    queries = lab.queries;
+    prepared = Hashtbl.create 128;
+    cache = Hashtbl.create 256;
+    work_budget = lab.work_budget;
+    deadline_ms = lab.deadline_ms;
+    scale = lab.scale;
+  }
+
+let run_grid ?(jobs = 1) ?queries lab configs =
+  let queries = match queries with Some qs -> qs | None -> lab.queries in
+  let todo =
+    List.concat_map
+      (fun config ->
+        List.filter_map
+          (fun q ->
+            if Hashtbl.mem lab.cache (config_name config, q.Query.name) then
+              None
+            else Some (config, q))
+          queries)
+      configs
+  in
+  (match todo with
+   | [] -> ()
+   | _ when jobs <= 1 ->
+     List.iter (fun (config, q) -> ignore (run_query lab config q)) todo
+   | _ ->
+     (* Shard cells across the pool. Every measurement that matters is
+        deterministic (work units, caps, re-opt steps), each cell runs on
+        a domain-private lab, and the merge below is keyed by
+        (config, query) — so the grid is byte-identical to the sequential
+        run regardless of worker count or scheduling (wall-clock fields
+        aside). *)
+     let mu = Mutex.create () in
+     let labs : (int, lab) Hashtbl.t = Hashtbl.create jobs in
+     let worker_lab () =
+       let id = (Domain.self () :> int) in
+       Mutex.lock mu;
+       let l =
+         match Hashtbl.find_opt labs id with
+         | Some l -> l
+         | None ->
+           let l = clone_lab lab in
+           Hashtbl.replace labs id l;
+           l
+       in
+       Mutex.unlock mu;
+       l
+     in
+     let results =
+       Rdb_util.Pool.with_pool jobs (fun pool ->
+           Rdb_util.Pool.map pool
+             (fun (config, q) ->
+               ( (config_name config, q.Query.name),
+                 run_query (worker_lab ()) config q ))
+             (Array.of_list todo))
+     in
+     Array.iter (fun (key, m) -> Hashtbl.replace lab.cache key m) results);
+  List.map
+    (fun config ->
+      (config, List.map (fun q -> run_query lab config q) queries))
+    configs
 
 let total_exec_ms ms = List.fold_left (fun acc m -> acc +. m.m_exec_ms) 0.0 ms
 let total_plan_ms ms = List.fold_left (fun acc m -> acc +. m.m_plan_ms) 0.0 ms

@@ -44,10 +44,27 @@ type measurement = {
 }
 
 val run_query : lab -> config -> Query.t -> measurement
-(** Plan and execute one query under a configuration; cached. *)
+(** Plan and execute one query under a configuration; cached. A
+    {!Rdb_exec.Executor.Work_budget_exceeded} anywhere inside the cell is
+    caught and recorded as [m_capped = true] — one runaway cell never
+    aborts a sweep. *)
 
 val run_workload : lab -> config -> measurement list
 (** All 113 queries (cached per query). *)
+
+val run_grid :
+  ?jobs:int -> ?queries:Query.t list -> lab -> config list ->
+  (config * measurement list) list
+(** Evaluate every (config, query) cell — [queries] defaults to the whole
+    workload — sharding the cells across [jobs] domains (default 1 =
+    sequential, in the caller). Each worker domain drives a private lab
+    cloned via {!Rdb_core.Session.with_stats_of} (shared immutable tables
+    and statistics, private temp-table namespace and caches); results are
+    merged into the parent lab's measurement cache keyed by
+    (config, query), and returned in [configs] × [queries] order. All
+    deterministic measurement fields ([m_work], [m_capped], [m_steps],
+    [m_rels]) are byte-identical to the sequential run regardless of
+    worker count or scheduling; only the wall-clock fields vary. *)
 
 val total_exec_ms : measurement list -> float
 val total_plan_ms : measurement list -> float

@@ -5,6 +5,8 @@ type t = {
 
 let create () = { columns = Hashtbl.create 32; groups = Hashtbl.create 8 }
 
+let copy t = { columns = Hashtbl.copy t.columns; groups = Hashtbl.copy t.groups }
+
 let set t ~table cols = Hashtbl.replace t.columns table cols
 
 let get t ~table = Hashtbl.find_opt t.columns table

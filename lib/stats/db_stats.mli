@@ -6,6 +6,11 @@ type t
 
 val create : unit -> t
 
+val copy : t -> t
+(** A shallow copy: fresh maps over the same (immutable) per-column and
+    group statistics. Lets a concurrent session reuse an ANALYZE without
+    re-running it, while temp-table statistics stay private to the copy. *)
+
 val set : t -> table:string -> Col_stats.t array -> unit
 
 val get : t -> table:string -> Col_stats.t array option

@@ -5,6 +5,8 @@ type t = {
 
 let create () = { tables = Hashtbl.create 32; indexes = Hashtbl.create 64 }
 
+let copy t = { tables = Hashtbl.copy t.tables; indexes = Hashtbl.copy t.indexes }
+
 let add_table t table = Hashtbl.replace t.tables (Table.name table) table
 
 let table t name = Hashtbl.find_opt t.tables name

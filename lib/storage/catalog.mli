@@ -6,6 +6,13 @@ type t
 
 val create : unit -> t
 
+val copy : t -> t
+(** A shallow copy: fresh name→table and index maps over the {e same}
+    table and index values. Tables are immutable once built, so a copy is
+    a safe, cheap way to give a concurrent session its own namespace —
+    temp tables added to (or dropped from) the copy never touch the
+    original. *)
+
 val add_table : t -> Table.t -> unit
 (** Registers (or replaces) a table under its own name. *)
 

@@ -1,0 +1,163 @@
+type 'a state =
+  | Pending
+  | Value of 'a
+  | Exn of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fmu : Mutex.t;
+  fcond : Condition.t;
+  mutable state : 'a state;
+}
+
+type task = Task : (unit -> 'a) * 'a future -> task
+
+type t = {
+  size : int;
+  mu : Mutex.t;  (* guards deques, rr and stop *)
+  cond : Condition.t;
+  deques : task list array;  (* head = newest (owner end), tail = steal end *)
+  mutable rr : int;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.size
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let fresh_future () =
+  { fmu = Mutex.create (); fcond = Condition.create (); state = Pending }
+
+let run_now f =
+  try Value (f ()) with e -> Exn (e, Printexc.get_raw_backtrace ())
+
+let fulfil fut result =
+  Mutex.lock fut.fmu;
+  fut.state <- result;
+  Condition.broadcast fut.fcond;
+  Mutex.unlock fut.fmu
+
+(* Both called with [t.mu] held. *)
+let pop_own t w =
+  match t.deques.(w) with
+  | task :: rest ->
+    t.deques.(w) <- rest;
+    Some task
+  | [] -> None
+
+let steal t w =
+  let split_last l =
+    match List.rev l with
+    | [] -> None
+    | last :: rev_init -> Some (last, List.rev rev_init)
+  in
+  let rec scan k =
+    if k >= t.size then None
+    else
+      let victim = (w + k) mod t.size in
+      match split_last t.deques.(victim) with
+      | Some (task, rest) ->
+        t.deques.(victim) <- rest;
+        Some task
+      | None -> scan (k + 1)
+  in
+  scan 1
+
+let worker t w =
+  Mutex.lock t.mu;
+  let rec loop () =
+    let next =
+      match pop_own t w with Some _ as task -> task | None -> steal t w
+    in
+    match next with
+    | Some (Task (f, fut)) ->
+      Mutex.unlock t.mu;
+      fulfil fut (run_now f);
+      Mutex.lock t.mu;
+      loop ()
+    | None ->
+      if t.stop then Mutex.unlock t.mu
+      else begin
+        Condition.wait t.cond t.mu;
+        loop ()
+      end
+  in
+  loop ()
+
+let create size =
+  if size < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      size;
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      deques = Array.make size [];
+      rr = 0;
+      stop = false;
+      domains = [];
+    }
+  in
+  if size > 1 then
+    t.domains <- List.init size (fun w -> Domain.spawn (fun () -> worker t w));
+  t
+
+let submit t f =
+  let fut = fresh_future () in
+  if t.size <= 1 then begin
+    if t.stop then invalid_arg "Pool.submit: pool is shut down";
+    fut.state <- run_now f;
+    fut
+  end
+  else begin
+    Mutex.lock t.mu;
+    if t.stop then begin
+      Mutex.unlock t.mu;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    t.deques.(t.rr) <- Task (f, fut) :: t.deques.(t.rr);
+    t.rr <- (t.rr + 1) mod t.size;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mu;
+    fut
+  end
+
+let await fut =
+  Mutex.lock fut.fmu;
+  let rec wait () =
+    match fut.state with
+    | Pending ->
+      Condition.wait fut.fcond fut.fmu;
+      wait ()
+    | Value v ->
+      Mutex.unlock fut.fmu;
+      v
+    | Exn (e, bt) ->
+      Mutex.unlock fut.fmu;
+      Printexc.raise_with_backtrace e bt
+  in
+  wait ()
+
+let map t f arr =
+  let futures = Array.map (fun x -> submit t (fun () -> f x)) arr in
+  Array.map await futures
+
+let run t thunks =
+  let futures = List.map (submit t) thunks in
+  List.map await futures
+
+let shutdown t =
+  if not t.stop then begin
+    if t.size <= 1 then t.stop <- true
+    else begin
+      Mutex.lock t.mu;
+      t.stop <- true;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mu;
+      List.iter Domain.join t.domains;
+      t.domains <- []
+    end
+  end
+
+let with_pool size f =
+  let t = create size in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

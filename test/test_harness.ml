@@ -81,6 +81,54 @@ let test_experiment_names () =
        [ "table1"; "table2"; "table3"; "table6"; "fig1"; "fig2"; "fig3_4";
          "skew"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9" ])
 
+(* run_grid with 4 domains must reproduce the sequential run measurement
+   for measurement on every deterministic field. Wall-clock fields are
+   excluded, and the wall-clock deadline is pushed out of reach so only the
+   deterministic work budget can cap a cell. *)
+let test_run_grid_deterministic_across_jobs () =
+  let fresh () =
+    Runner.create_lab ~scale:0.02 ~work_budget:20_000_000 ~deadline_ms:1e9 ()
+  in
+  let configs = [ Runner.Default; Runner.Reopt 8.0 ] in
+  let queries lab =
+    List.filteri (fun i _ -> i < 10) (Runner.queries lab)
+  in
+  let lab1 = fresh () in
+  let seq = Runner.run_grid ~jobs:1 ~queries:(queries lab1) lab1 configs in
+  let lab4 = fresh () in
+  let par = Runner.run_grid ~jobs:4 ~queries:(queries lab4) lab4 configs in
+  List.iter2
+    (fun (c1, ms1) (c4, ms4) ->
+      check Alcotest.string "config order" (Runner.config_name c1)
+        (Runner.config_name c4);
+      List.iter2
+        (fun (m1 : Runner.measurement) (m4 : Runner.measurement) ->
+          let ctx field =
+            Printf.sprintf "%s/%s %s" (Runner.config_name c1) m1.Runner.m_query field
+          in
+          check Alcotest.string (ctx "query") m1.Runner.m_query m4.Runner.m_query;
+          check Alcotest.int (ctx "rels") m1.Runner.m_rels m4.Runner.m_rels;
+          check Alcotest.int (ctx "work") m1.Runner.m_work m4.Runner.m_work;
+          check Alcotest.bool (ctx "capped") m1.Runner.m_capped m4.Runner.m_capped;
+          check Alcotest.int (ctx "steps") m1.Runner.m_steps m4.Runner.m_steps)
+        ms1 ms4)
+    seq par
+
+(* A cell whose plan blows the work budget is recorded as capped, and the
+   rest of the sweep still runs. *)
+let test_budget_cap_is_per_cell () =
+  (* 100 work units sits inside the range the first workload queries need
+     at this scale, so the sweep mixes capped and uncapped cells. *)
+  let lab = Runner.create_lab ~scale:0.02 ~work_budget:100 ~deadline_ms:1e9 () in
+  let queries = List.filteri (fun i _ -> i < 8) (Runner.queries lab) in
+  let grid = Runner.run_grid ~jobs:1 ~queries lab [ Runner.Default ] in
+  let ms = List.assoc Runner.Default grid in
+  check Alcotest.int "all cells measured" 8 (List.length ms);
+  check Alcotest.bool "tiny budget caps some cells" true
+    (List.exists (fun m -> m.Runner.m_capped) ms);
+  check Alcotest.bool "sweep continues past capped cells" true
+    (List.exists (fun m -> not m.Runner.m_capped) ms)
+
 let test_unknown_experiment () =
   let lab = Lazy.force lab in
   check Alcotest.bool "raises" true
@@ -98,6 +146,10 @@ let () =
           Alcotest.test_case "measurements sane" `Quick test_measurements_sane;
           Alcotest.test_case "perfect <= default" `Slow
             test_perfect_beats_default_on_workload;
+          Alcotest.test_case "run_grid jobs=4 = jobs=1" `Slow
+            test_run_grid_deterministic_across_jobs;
+          Alcotest.test_case "budget cap is per-cell" `Quick
+            test_budget_cap_is_per_cell;
         ] );
       ( "experiments",
         [
