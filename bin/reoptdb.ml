@@ -5,6 +5,7 @@
      reoptdb explain 6d [--mode ...]    plan + EXPLAIN with true cardinalities
      reoptdb run 6d [--reopt 32]        execute, optionally with re-optimization
      reoptdb experiment fig2 [...]      regenerate a table/figure of the paper
+     reoptdb lint [--scale 0.1]         lint every workload query and plan
 *)
 
 open Cmdliner
@@ -187,6 +188,109 @@ let cmd_experiment =
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables/figures.")
     Term.(const run $ exp_pos $ scale_arg $ seed_arg $ jobs_arg)
 
+(* ---- lint ---- *)
+
+let cmd_lint =
+  let module Finding = Rdb_analysis.Finding in
+  let module Query_lint = Rdb_analysis.Query_lint in
+  let module Plan_lint = Rdb_analysis.Plan_lint in
+  let lint_scale_arg =
+    Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"FACTOR"
+           ~doc:"Database scale factor. The lint sweep executes every \
+                 re-optimization materialization, so it defaults to a \
+                 smaller database than the experiment commands.")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 32.0 & info [ "reopt" ] ~docv:"THRESHOLD"
+           ~doc:"Q-error threshold of the re-optimization sweep.")
+  in
+  let perfect_arg =
+    Arg.(value & opt int 4 & info [ "perfect" ] ~docv:"N"
+           ~doc:"The perfect-(N) estimator configuration to sweep.")
+  in
+  let run scale seed threshold perfect_n =
+    let catalog, session = make_session ~scale ~seed in
+    let queries = Rdb_imdb.Job_queries.all catalog in
+    let n_errors = ref 0 and n_warnings = ref 0 in
+    let n_plans = ref 0 and n_steps = ref 0 and n_capped = ref 0 in
+    let report ctx findings =
+      List.iter
+        (fun (f : Finding.t) ->
+          (match f.Finding.severity with
+           | Finding.Error -> incr n_errors
+           | Finding.Warning -> incr n_warnings
+           | Finding.Info -> ());
+          Printf.printf "%s: %s\n" ctx (Finding.to_string f))
+        findings
+    in
+    List.iter
+      (fun (q : Rdb_query.Query.t) ->
+        let name = q.Rdb_query.Query.name in
+        report name (Query_lint.check ~catalog q);
+        let prepared = Session.prepare session q in
+        (* Planned configurations: lint each chosen plan against a fresh
+           estimator query. *)
+        List.iter
+          (fun (label, mode) ->
+            (match mode with
+             | Estimator.Perfect n ->
+               Oracle.ensure_up_to (Session.oracle prepared) n
+             | _ -> ());
+            let plan, _, est = Session.plan prepared ~mode in
+            incr n_plans;
+            report
+              (Printf.sprintf "%s [%s]" name label)
+              (Plan_lint.check ~catalog ~estimator:est q plan))
+          [ ("default", Estimator.Default);
+            (Printf.sprintf "perfect-%d" perfect_n,
+             Estimator.Perfect perfect_n) ];
+        (* Re-optimization sweep: with ~lint:true every intermediate plan
+           and every rewritten query is invariant-checked in the loop
+           itself (raising on error findings); on success, re-lint the
+           rewrite steps here to surface warning-severity findings too. *)
+        (match
+           Reopt.run ~lint:true ~work_budget:60_000_000 ~deadline_ms:4000.0
+             ~cleanup:false ~initial:prepared session
+             ~trigger:(Trigger.create threshold) ~mode:Estimator.Default q
+         with
+         | outcome ->
+           incr n_plans;
+           List.iter
+             (fun (s : Reopt.step) ->
+               incr n_steps;
+               report
+                 (Printf.sprintf "%s [reopt step %s]" name s.Reopt.temp_name)
+                 (Query_lint.check ~catalog s.Reopt.query_after))
+             outcome.Reopt.steps;
+           report
+             (Printf.sprintf "%s [reopt final]" name)
+             (Plan_lint.check ~catalog outcome.Reopt.final_query
+                outcome.Reopt.final_plan);
+           List.iter
+             (fun (s : Reopt.step) ->
+               Catalog.drop_table catalog s.Reopt.temp_name;
+               Rdb_stats.Db_stats.drop (Session.stats session)
+                 ~table:s.Reopt.temp_name)
+             outcome.Reopt.steps
+         | exception Executor.Work_budget_exceeded _ -> incr n_capped
+         | exception Rdb_analysis.Debug.Lint_failed findings ->
+           report (Printf.sprintf "%s [reopt]" name) findings))
+      queries;
+    Printf.printf
+      "lint: %d queries, %d plans, %d rewrite steps checked (%d runaway \
+       cells capped); %d errors, %d warnings\n"
+      (List.length queries) !n_plans !n_steps !n_capped !n_errors !n_warnings;
+    if !n_errors > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Sweep the whole workload through the default, perfect-(n) and \
+          re-optimization configurations and report static-analysis \
+          findings on every query, plan and rewrite step. Exits non-zero \
+          on error-severity findings.")
+    Term.(const run $ lint_scale_arg $ seed_arg $ threshold_arg $ perfect_arg)
+
 let () =
   let info =
     Cmd.info "reoptdb"
@@ -195,4 +299,8 @@ let () =
          Love Re-optimization' (ICDE 2019): query engine, instrumented \
          optimizer, and mid-query re-optimization."
   in
-  exit (Cmd.eval' (Cmd.group info [ cmd_queries; cmd_sql; cmd_explain; cmd_run; cmd_experiment ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ cmd_queries; cmd_sql; cmd_explain; cmd_run; cmd_experiment;
+            cmd_lint ]))

@@ -1,0 +1,30 @@
+exception Lint_failed of Finding.t list
+
+let () =
+  Printexc.register_printer (function
+    | Lint_failed fs ->
+      Some
+        (Printf.sprintf "Lint_failed:\n%s" (Finding.render fs))
+    | _ -> None)
+
+let enabled () =
+  match Sys.getenv_opt "RDB_LINT" with
+  | Some ("1" | "true") -> true
+  | Some _ | None -> false
+
+let fail_on_errors findings =
+  match Finding.errors findings with
+  | [] -> ()
+  | errs -> raise (Lint_failed errs)
+
+let check_query_exn ~catalog q = fail_on_errors (Query_lint.check ~catalog q)
+
+let check_plan_exn ~catalog ?estimator q plan =
+  fail_on_errors
+    (Query_lint.check ~catalog q @ Plan_lint.check ~catalog ?estimator q plan)
+
+let install () =
+  Rdb_plan.Optimizer.lint_hook :=
+    Some
+      (fun ~catalog ~estimator q plan ->
+        check_plan_exn ~catalog ~estimator q plan)

@@ -1,0 +1,32 @@
+(** Debug-mode wiring: install the lint passes as invariant checkers inside
+    the planning pipeline.
+
+    With [RDB_LINT=1] in the environment (or an explicit [~lint:true]
+    argument at the call sites that take one), every plan returned by
+    [Optimizer.plan]/[plan_robust] and every re-optimization rewrite step is
+    linted, and error-severity findings raise {!Lint_failed} instead of
+    letting a corrupted artifact produce wrong answers. *)
+
+exception Lint_failed of Finding.t list
+(** Carries the error-severity findings; the registered printer renders
+    them one per line. *)
+
+val enabled : unit -> bool
+(** [RDB_LINT] is set to [1] or [true] in the environment. *)
+
+val install : unit -> unit
+(** Install the plan-lint hook into [Rdb_plan.Optimizer.lint_hook].
+    Idempotent; called by [Rdb_core.Session.create], so any session-based
+    pipeline honors [RDB_LINT=1] without further wiring. *)
+
+val check_query_exn : catalog:Catalog.t -> Rdb_query.Query.t -> unit
+(** Run {!Query_lint.check}; raise {!Lint_failed} on error findings. *)
+
+val check_plan_exn :
+  catalog:Catalog.t ->
+  ?estimator:Rdb_card.Estimator.t ->
+  Rdb_query.Query.t ->
+  Rdb_plan.Plan.t ->
+  unit
+(** Run {!Query_lint.check} and {!Plan_lint.check}; raise {!Lint_failed} on
+    error findings. *)

@@ -1,0 +1,31 @@
+(** Static lint over a physical plan against its bound query: the structural
+    invariants the optimizer must preserve and the ones a corrupted or stale
+    plan breaks silently.
+
+    Error-severity checks:
+    - the root's relation set covers the query exactly, and every join's
+      subtree relation sets are disjoint (the relation sets partition the
+      query);
+    - each join's edge list references columns available in its subtrees
+      ([l] on the outer side, [r] on the inner side) and matches the query's
+      crossing edges between the two subtrees exactly — a dropped edge is a
+      silently-lost join predicate;
+    - index-scan nodes name a real catalog index on the bound column, and
+      their lookup key matches an equality predicate of the query;
+    - index-nested-loop joins probe a single base relation with an index on
+      the declared inner column, keyed by their first join edge;
+    - per-node cardinality estimates match a fresh estimator query (pass
+      [estimator] to enable; the estimator caches per relation subset, so a
+      mismatch means the plan was built against different estimates);
+    - costs are finite, non-negative, and monotone up the tree (a join
+      costs at least its inputs; index nested loops exclude the unused
+      inner subtree cost, as the optimizer does). *)
+
+val check :
+  catalog:Catalog.t ->
+  ?estimator:Rdb_card.Estimator.t ->
+  Rdb_query.Query.t ->
+  Rdb_plan.Plan.t ->
+  Finding.t list
+(** Findings in deterministic order; empty when the plan is clean. Without
+    [estimator] the estimate-freshness checks are skipped. *)

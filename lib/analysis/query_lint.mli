@@ -1,0 +1,18 @@
+(** Static lint over a bound query: the invariants every query entering the
+    optimizer — and every re-optimization rewrite — must satisfy.
+
+    Error-severity checks: every alias resolves to a catalog table, aliases
+    are unique, every column reference (predicates, join edges, aggregates)
+    is in range, predicate literals are type-compatible with their column,
+    join columns are integer-typed, SUM targets an integer column, and the
+    join graph is connected (the message names the components by alias).
+
+    Warning-severity checks: duplicate predicates and join edges,
+    contradictory predicate pairs on one column (e.g. [x = 1 AND x = 2],
+    disjoint BETWEEN ranges, [IS NULL] alongside a comparison), always-empty
+    ranges ([BETWEEN 5 AND 3], [IN ()]), comparisons against NULL, and
+    degenerate join edges (a column equated with itself, or an edge joining
+    a relation to itself). *)
+
+val check : catalog:Catalog.t -> Rdb_query.Query.t -> Finding.t list
+(** Findings in deterministic order; empty when the query is clean. *)

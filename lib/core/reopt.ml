@@ -126,7 +126,15 @@ let rewrite (q : Query.t) ~set ~temp_name ~temp_cols =
     List.filter_map
       (fun { Query.l; r } ->
         if inside set l && inside set r then None
-        else Some { Query.l = map_colref l; r = map_colref r })
+        else
+          let l = map_colref l and r = map_colref r in
+          (* Orient crossing edges with the temp table on the left: two
+             original edges whose inside endpoints collapse to the same
+             temp column reappear with opposite orientations, and a
+             duplicated join condition double-counts its selectivity. *)
+          if r.Query.rel = temp_idx && l.Query.rel <> temp_idx then
+            Some { Query.l = r; r = l }
+          else Some { Query.l; r })
       q.Query.edges
   in
   (* Crossing edges collapsed to the same temp column against the same
@@ -177,8 +185,11 @@ let temp_schema session (q : Query.t) temp_cols =
          { Schema.name = Printf.sprintf "c%d" i; ty = src.Schema.ty })
        temp_cols)
 
-let run ?work_budget ?deadline_ms ?(cleanup = true) ?(max_steps = 32) ?initial
-    session ~trigger ~mode q0 =
+let run ?lint ?work_budget ?deadline_ms ?(cleanup = true) ?(max_steps = 32)
+    ?initial session ~trigger ~mode q0 =
+  let lint =
+    match lint with Some b -> b | None -> Rdb_analysis.Debug.enabled ()
+  in
   let temp_names = ref [] in
   let rec loop q steps plan_times step_count =
     let prepared =
@@ -186,7 +197,7 @@ let run ?work_budget ?deadline_ms ?(cleanup = true) ?(max_steps = 32) ?initial
       | Some p when step_count = 0 && Session.query p == q -> p
       | Some _ | None -> Session.prepare session q
     in
-    let plan, pstats, _estimator = Session.plan prepared ~mode in
+    let plan, pstats, _estimator = Session.plan ~lint prepared ~mode in
     let plan_times = pstats.Rdb_plan.Optimizer.plan_ms :: plan_times in
     let trigger_hit =
       if step_count >= max_steps then None else find_trigger prepared plan trigger
@@ -211,6 +222,12 @@ let run ?work_budget ?deadline_ms ?(cleanup = true) ?(max_steps = 32) ?initial
       Catalog.add_table (Session.catalog session) table;
       Session.analyze_table session temp_name;
       let q' = rewrite q ~set ~temp_name ~temp_cols in
+      (* The rewrite is exactly where silent invariant breakage (dangling
+         aliases, predicates on materialized-away columns) turns into wrong
+         answers: re-lint the rewritten query with the temp table bound. *)
+      if lint then
+        Rdb_analysis.Debug.check_query_exn
+          ~catalog:(Session.catalog session) q';
       let step =
         {
           materialized_set = set;

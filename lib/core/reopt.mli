@@ -44,6 +44,7 @@ type outcome = {
 }
 
 val run :
+  ?lint:bool ->
   ?work_budget:int ->
   ?deadline_ms:float ->
   ?cleanup:bool ->
@@ -57,7 +58,10 @@ val run :
 (** Run the full re-optimization loop. [mode] is the estimator used for
     (re-)planning, so re-optimization composes with perfect-(n) as in
     Figure 8. [cleanup] (default true) drops the temporary tables from the
-    catalog afterwards. [max_steps] (default 32) bounds the loop. *)
+    catalog afterwards. [max_steps] (default 32) bounds the loop.
+    [lint] (default: the [RDB_LINT=1] environment check) lints every plan
+    and every rewritten query (with its temp table substituted); error
+    findings raise [Rdb_analysis.Debug.Lint_failed]. *)
 
 val rewrite :
   Query.t ->

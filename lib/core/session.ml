@@ -18,6 +18,10 @@ type t = {
 }
 
 let create ?(cost_params = Rdb_cost.Cost_model.default) catalog =
+  (* Make RDB_LINT=1 effective for every session-driven pipeline: the
+     optimizer's lint hook is a ref precisely so the plan layer need not
+     depend on the analysis library that checks it. *)
+  Rdb_analysis.Debug.install ();
   { catalog; stats = Db_stats.create (); cost_params; temp_counter = 0 }
 
 let with_stats_of parent =
@@ -67,25 +71,26 @@ let oracle p = p.oracle
 let space p = p.space
 let session p = p.session
 
-let plan ?log p ~mode =
+let plan ?lint ?log p ~mode =
   let estimator =
     Estimator.create ?log ~mode ~catalog:p.session.catalog
       ~stats:p.session.stats ~oracle:p.oracle p.q
   in
   let plan, stats =
-    Optimizer.plan ~space:p.space ~cost_params:p.session.cost_params
+    Optimizer.plan ?lint ~space:p.space ~cost_params:p.session.cost_params
       ~catalog:p.session.catalog ~estimator p.q
   in
   (plan, stats, estimator)
 
-let plan_robust ?log ~uncertainty p ~mode =
+let plan_robust ?lint ?log ~uncertainty p ~mode =
   let estimator =
     Estimator.create ?log ~mode ~catalog:p.session.catalog
       ~stats:p.session.stats ~oracle:p.oracle p.q
   in
   let plan, stats =
-    Optimizer.plan_robust ~space:p.space ~cost_params:p.session.cost_params
-      ~uncertainty ~catalog:p.session.catalog ~estimator p.q
+    Optimizer.plan_robust ?lint ~space:p.space
+      ~cost_params:p.session.cost_params ~uncertainty
+      ~catalog:p.session.catalog ~estimator p.q
   in
   (plan, stats, estimator)
 

@@ -52,13 +52,18 @@ val space : prepared -> Search_space.t
 val session : prepared -> t
 
 val plan :
+  ?lint:bool ->
   ?log:Estimate_log.t ->
   prepared ->
   mode:Estimator.mode ->
   Plan.t * Optimizer.stats * Estimator.t
-(** Optimize under the given estimation mode. *)
+(** Optimize under the given estimation mode. [lint] (default: the
+    [RDB_LINT=1] environment check) runs the installed invariant checker on
+    the chosen plan; error findings raise
+    [Rdb_analysis.Debug.Lint_failed]. *)
 
 val plan_robust :
+  ?lint:bool ->
   ?log:Estimate_log.t ->
   uncertainty:float ->
   prepared ->

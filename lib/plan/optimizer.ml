@@ -13,6 +13,46 @@ type stats = {
 
 let now_ms () = Sys.time () *. 1000.0
 
+type lint_hook =
+  catalog:Catalog.t -> estimator:Estimator.t -> Query.t -> Plan.t -> unit
+
+let lint_hook : lint_hook option ref = ref None
+
+let lint_enabled ?lint () =
+  match lint with
+  | Some b -> b
+  | None -> (match Sys.getenv_opt "RDB_LINT" with
+             | Some ("1" | "true") -> true
+             | Some _ | None -> false)
+
+let run_lint_hook ~lint ~catalog ~estimator q plan =
+  if lint_enabled ?lint () then
+    match !lint_hook with
+    | Some hook -> hook ~catalog ~estimator q plan
+    | None -> ()
+
+(* Cartesian products are unsupported (as in the paper's workload); a
+   disconnected join graph is a query bug, so name the components to make
+   the report actionable. *)
+let check_connected graph (q : Query.t) =
+  let n = Query.n_rels q in
+  if n = 0 then invalid_arg "Optimizer: query with no relations";
+  let full = Relset.full n in
+  if not (Join_graph.is_connected graph full) then begin
+    let render c =
+      "{"
+      ^ String.concat "," (List.map (Query.rel_alias q) (Relset.to_list c))
+      ^ "}"
+    in
+    let comps = Join_graph.components graph full in
+    invalid_arg
+      (Printf.sprintf
+         "Optimizer: join graph of %s is disconnected (cartesian product); \
+          components: %s"
+         q.Query.name
+         (String.concat " | " (List.map render comps)))
+  end
+
 (* Cheapest access path for a single relation: sequential scan, or an
    equality index scan seeded by one of its own predicates. *)
 let scan_plan ~cp ~catalog ~estimator (q : Query.t) rel =
@@ -98,9 +138,7 @@ let dp ?space ?(cost_params = Cost_model.default) ~catalog ~estimator (q : Query
   let cp = cost_params in
   let graph = Join_graph.make q in
   let n = Query.n_rels q in
-  if n = 0 then invalid_arg "Optimizer: query with no relations";
-  if not (Join_graph.is_connected graph (Relset.full n)) then
-    invalid_arg "Optimizer: join graph is disconnected (cartesian product)";
+  check_connected graph q;
   let space =
     match space with Some s -> s | None -> Search_space.build graph
   in
@@ -151,10 +189,12 @@ let dp ?space ?(cost_params = Cost_model.default) ~catalog ~estimator (q : Query
       plan_ms = elapsed;
     } )
 
-let plan ?space ?cost_params ~catalog ~estimator q =
+let plan ?lint ?space ?cost_params ~catalog ~estimator q =
   let best, stats = dp ?space ?cost_params ~catalog ~estimator q in
   match Hashtbl.find_opt best (Relset.full (Query.n_rels q)) with
-  | Some p -> (p, stats)
+  | Some p ->
+    run_lint_hook ~lint ~catalog ~estimator q p;
+    (p, stats)
   | None -> invalid_arg "Optimizer: no plan found for full relation set"
 
 (* Rio-style robust DP: plans carry one cost per scenario; scenarios scale
@@ -165,9 +205,7 @@ let dp_robust ?space ?(cost_params = Cost_model.default) ~uncertainty ~catalog
   let cp = cost_params in
   let graph = Join_graph.make q in
   let n = Query.n_rels q in
-  if n = 0 then invalid_arg "Optimizer: query with no relations";
-  if not (Join_graph.is_connected graph (Relset.full n)) then
-    invalid_arg "Optimizer: join graph is disconnected (cartesian product)";
+  check_connected graph q;
   let space =
     match space with Some s -> s | None -> Search_space.build graph
   in
@@ -264,12 +302,14 @@ let dp_robust ?space ?(cost_params = Cost_model.default) ~uncertainty ~catalog
       plan_ms = elapsed;
     } )
 
-let plan_robust ?space ?cost_params ~uncertainty ~catalog ~estimator q =
+let plan_robust ?lint ?space ?cost_params ~uncertainty ~catalog ~estimator q =
   let best, stats =
     dp_robust ?space ?cost_params ~uncertainty ~catalog ~estimator q
   in
   match Hashtbl.find_opt best (Relset.full (Query.n_rels q)) with
-  | Some (p, _) -> (p, stats)
+  | Some (p, _) ->
+    run_lint_hook ~lint ~catalog ~estimator q p;
+    (p, stats)
   | None -> invalid_arg "Optimizer: no robust plan found"
 
 let best_cost_of_sets ?space ?cost_params ~catalog ~estimator q =

@@ -14,7 +14,19 @@ type stats = {
   plan_ms : float;  (** wall time of the DP, the paper's "planning time" *)
 }
 
+type lint_hook =
+  catalog:Catalog.t -> estimator:Estimator.t -> Query.t -> Plan.t -> unit
+
+val lint_hook : lint_hook option ref
+(** Debug-mode invariant checker invoked on every plan {!plan} and
+    {!plan_robust} return, when linting is enabled (the [?lint] argument,
+    or the [RDB_LINT=1] environment variable when the argument is absent).
+    Installed by [Rdb_analysis.Debug.install] — a hook rather than a direct
+    call so the plan layer does not depend on the analysis library that
+    checks it. The hook is expected to raise on error-severity findings. *)
+
 val plan :
+  ?lint:bool ->
   ?space:Search_space.t ->
   ?cost_params:Rdb_cost.Cost_model.params ->
   catalog:Catalog.t ->
@@ -25,9 +37,12 @@ val plan :
     [space] lets callers reuse the enumerated search space across estimator
     configurations. Raises [Invalid_argument] if the join graph is
     disconnected (cartesian products are not supported, as in the paper's
-    workload). *)
+    workload); the message names the disconnected components by alias.
+    [lint] (default: [RDB_LINT=1] in the environment) runs the installed
+    {!lint_hook} on the chosen plan before returning it. *)
 
 val plan_robust :
+  ?lint:bool ->
   ?space:Search_space.t ->
   ?cost_params:Rdb_cost.Cost_model.params ->
   uncertainty:float ->

@@ -32,6 +32,19 @@ let is_connected t s =
     Relset.equal (grow seed) s
   end
 
+let components t s =
+  let rec grow frontier =
+    let next = Relset.inter (Relset.union frontier (neighbors t frontier)) s in
+    if Relset.equal next frontier then frontier else grow next
+  in
+  let rec peel rest acc =
+    if Relset.is_empty rest then List.rev acc
+    else
+      let c = grow (Relset.singleton (Relset.min_elt rest)) in
+      peel (Relset.diff rest c) (c :: acc)
+  in
+  peel s []
+
 let removable t s =
   let rec scan = function
     | [] -> invalid_arg "Join_graph.removable: no removable relation"

@@ -21,6 +21,10 @@ val neighbors : t -> Relset.t -> Relset.t
 val is_connected : t -> Relset.t -> bool
 (** The empty set is not connected; singletons are. *)
 
+val components : t -> Relset.t -> Relset.t list
+(** Connected components of the induced subgraph on the given set, ordered
+    by smallest member. A connected set yields one component. *)
+
 val removable : t -> Relset.t -> int
 (** The largest-index relation whose removal keeps the (connected) set
     connected. This is the canonical decomposition both the estimator and

@@ -1,0 +1,398 @@
+(* The static-analysis passes must catch each corrupted-artifact class with
+   the right severity — and stay silent on every clean query and plan the
+   pipeline actually produces. *)
+
+module Relset = Rdb_util.Relset
+module Query = Rdb_query.Query
+module Predicate = Rdb_query.Predicate
+module Estimator = Rdb_card.Estimator
+module Plan = Rdb_plan.Plan
+module Optimizer = Rdb_plan.Optimizer
+module Session = Rdb_core.Session
+module Reopt = Rdb_core.Reopt
+module Trigger = Rdb_core.Trigger
+module Finding = Rdb_analysis.Finding
+module Query_lint = Rdb_analysis.Query_lint
+module Plan_lint = Rdb_analysis.Plan_lint
+module Debug = Rdb_analysis.Debug
+
+let check = Alcotest.check
+
+(* ---- fixtures ---- *)
+
+let small_db () =
+  let int name = { Schema.name; ty = Value.Ty_int } in
+  let str name = { Schema.name; ty = Value.Ty_str } in
+  let cat = Catalog.create () in
+  let dim_n = 100 and fact_n = 2000 in
+  Catalog.add_table cat
+    (Table.create ~name:"dim"
+       ~schema:(Schema.make [ int "id"; str "label" ])
+       [|
+         Column.Ints (Array.init dim_n (fun i -> i + 1));
+         Column.Strs (Array.init dim_n (fun i -> Printf.sprintf "label%d" i));
+       |]);
+  Catalog.add_table cat
+    (Table.create ~name:"fact"
+       ~schema:(Schema.make [ int "id"; int "dim_id" ])
+       [|
+         Column.Ints (Array.init fact_n (fun i -> i + 1));
+         Column.Ints (Array.init fact_n (fun i -> (i mod dim_n) + 1));
+       |]);
+  Catalog.add_index cat ~table:"dim" ~col:0;
+  Catalog.add_index cat ~table:"fact" ~col:1;
+  cat
+
+let bind cat sql =
+  match Rdb_sql.Binder.bind cat ~name:"q" (Rdb_sql.Parser.parse sql) with
+  | Ok q -> q
+  | Error e -> Alcotest.fail e
+
+let join_sql = "SELECT COUNT(*) FROM dim AS d, fact AS f WHERE f.dim_id = d.id"
+
+let plan_with_estimator cat q =
+  let stats = Rdb_stats.Db_stats.create () in
+  Rdb_stats.Analyze.all cat stats;
+  let estimator =
+    Estimator.create ~mode:Estimator.Default ~catalog:cat ~stats q
+  in
+  let plan, _ = Optimizer.plan ~lint:false ~catalog:cat ~estimator q in
+  (plan, estimator)
+
+let codes fs = List.sort_uniq compare (List.map (fun f -> f.Finding.code) fs)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i =
+    if i + nl > hl then false
+    else if String.sub hay i nl = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let has_error code fs =
+  List.exists (fun f -> f.Finding.code = code) (Finding.errors fs)
+
+let has_warning code fs =
+  List.exists
+    (fun (f : Finding.t) ->
+      f.Finding.code = code && f.Finding.severity = Finding.Warning)
+    fs
+
+(* A tiny IMDB instance shared by the workload-wide tests. *)
+let imdb = lazy (Rdb_imdb.Imdb_gen.generate ~scale:0.02 ())
+
+(* ---- Query_lint: clean inputs ---- *)
+
+let test_job_queries_lint_clean () =
+  let catalog = Lazy.force imdb in
+  List.iter
+    (fun (q : Query.t) ->
+      let fs = Query_lint.check ~catalog q in
+      check Alcotest.(list string) (q.Query.name ^ " clean") [] (codes fs))
+    (Rdb_imdb.Job_queries.all catalog)
+
+(* ---- Query_lint: corrupted queries ---- *)
+
+let test_dangling_alias () =
+  let cat = small_db () in
+  let q = bind cat join_sql in
+  let rels = Array.copy q.Query.rels in
+  rels.(1) <- { (rels.(1)) with Query.table = "vanished" };
+  let fs = Query_lint.check ~catalog:cat { q with Query.rels } in
+  check Alcotest.bool "unknown-table error" true (has_error "unknown-table" fs)
+
+let test_duplicate_alias () =
+  let cat = small_db () in
+  let q = bind cat join_sql in
+  let rels = Array.copy q.Query.rels in
+  rels.(1) <- { (rels.(1)) with Query.alias = q.Query.rels.(0).Query.alias };
+  let fs = Query_lint.check ~catalog:cat { q with Query.rels } in
+  check Alcotest.bool "duplicate-alias error" true
+    (has_error "duplicate-alias" fs)
+
+let test_predicate_column_out_of_range () =
+  let cat = small_db () in
+  let q = bind cat join_sql in
+  let bad =
+    { Query.target = { Query.rel = 0; col = 99 };
+      p = Predicate.Cmp (Predicate.Eq, Value.Int 1) }
+  in
+  let fs = Query_lint.check ~catalog:cat { q with Query.preds = [ bad ] } in
+  check Alcotest.bool "bad-colref error" true (has_error "bad-colref" fs)
+
+let test_predicate_type_mismatch () =
+  let cat = small_db () in
+  let q = bind cat join_sql in
+  (* d.id is an integer column; compare it with a string literal. *)
+  let bad =
+    { Query.target = { Query.rel = 0; col = 0 };
+      p = Predicate.Cmp (Predicate.Eq, Value.Str "oops") }
+  in
+  let fs = Query_lint.check ~catalog:cat { q with Query.preds = [ bad ] } in
+  check Alcotest.bool "predicate-type error" true
+    (has_error "predicate-type" fs);
+  (* ... and LIKE on the integer column. *)
+  let bad_like =
+    { Query.target = { Query.rel = 0; col = 0 };
+      p = Predicate.Like (Predicate.Prefix "x") }
+  in
+  let fs =
+    Query_lint.check ~catalog:cat { q with Query.preds = [ bad_like ] }
+  in
+  check Alcotest.bool "LIKE on int error" true (has_error "predicate-type" fs)
+
+let test_disconnected_join_graph_named () =
+  let cat = small_db () in
+  let q = bind cat join_sql in
+  let fs = Query_lint.check ~catalog:cat { q with Query.edges = [] } in
+  (match Finding.by_code "disconnected-join-graph" (Finding.errors fs) with
+   | [ f ] ->
+     check Alcotest.bool "names both components" true
+       (contains f.Finding.message ~needle:"{d}"
+        && contains f.Finding.message ~needle:"{f}")
+   | fs' ->
+     Alcotest.failf "expected one disconnected finding, got %d"
+       (List.length fs'))
+
+let test_duplicate_and_contradictory_predicates () =
+  let cat = small_db () in
+  let q =
+    bind cat (join_sql ^ " AND d.id = 1 AND d.id = 1")
+  in
+  let fs = Query_lint.check ~catalog:cat q in
+  check Alcotest.bool "duplicate warning" true
+    (has_warning "duplicate-predicate" fs);
+  check Alcotest.bool "duplicates are not errors" false (Finding.has_errors fs);
+  let q = bind cat (join_sql ^ " AND d.id = 1 AND d.id = 2") in
+  let fs = Query_lint.check ~catalog:cat q in
+  check Alcotest.bool "contradiction warning" true
+    (has_warning "contradictory-predicates" fs);
+  let q = bind cat (join_sql ^ " AND d.id BETWEEN 5 AND 3") in
+  let fs = Query_lint.check ~catalog:cat q in
+  check Alcotest.bool "empty range warning" true (has_warning "empty-range" fs);
+  let q = bind cat (join_sql ^ " AND d.id BETWEEN 1 AND 4 AND d.id = 9") in
+  let fs = Query_lint.check ~catalog:cat q in
+  check Alcotest.bool "eq outside between warning" true
+    (has_warning "contradictory-predicates" fs)
+
+let test_duplicate_join_edge () =
+  let cat = small_db () in
+  let q = bind cat join_sql in
+  let fs =
+    Query_lint.check ~catalog:cat
+      { q with Query.edges = q.Query.edges @ q.Query.edges }
+  in
+  check Alcotest.bool "duplicate edge warning" true
+    (has_warning "duplicate-join-edge" fs)
+
+(* ---- Plan_lint: clean plans ---- *)
+
+let test_clean_plan_lints_clean () =
+  let cat = small_db () in
+  let q = bind cat (join_sql ^ " AND d.id = 7") in
+  let plan, estimator = plan_with_estimator cat q in
+  let fs = Plan_lint.check ~catalog:cat ~estimator q plan in
+  check Alcotest.(list string) "no findings" [] (codes fs)
+
+(* ---- Plan_lint: corrupted plans ---- *)
+
+(* The optimizer's plan for dim ⋈ fact, pulled apart for corruption. *)
+let join_fixture () =
+  let cat = small_db () in
+  let q = bind cat join_sql in
+  let plan, estimator = plan_with_estimator cat q in
+  match plan with
+  | Plan.Join j -> (cat, q, estimator, j)
+  | Plan.Scan _ -> Alcotest.fail "expected a join plan"
+
+let test_swapped_subtree_relsets () =
+  let cat, q, estimator, j = join_fixture () in
+  (* Swap outer and inner without reorienting the edges: every edge now
+     references columns on the wrong sides. *)
+  let corrupted =
+    Plan.Join { j with Plan.outer = j.Plan.inner; inner = j.Plan.outer }
+  in
+  let fs = Plan_lint.check ~catalog:cat ~estimator q corrupted in
+  check Alcotest.bool "edge sides error" true
+    (has_error "edge-outside-subtree" fs)
+
+let test_dropped_join_edge () =
+  let cat, q, estimator, j = join_fixture () in
+  let corrupted = Plan.Join { j with Plan.join_edges = [] } in
+  let fs = Plan_lint.check ~catalog:cat ~estimator q corrupted in
+  check Alcotest.bool "missing edge error" true
+    (has_error "missing-join-edge" fs)
+
+let test_duplicated_relation_subtree () =
+  let cat, q, estimator, j = join_fixture () in
+  (* Replace the inner subtree with a copy of the outer: one relation now
+     appears twice and the other not at all. *)
+  let corrupted = Plan.Join { j with Plan.inner = j.Plan.outer } in
+  let fs = Plan_lint.check ~catalog:cat ~estimator q corrupted in
+  check Alcotest.bool "overlap error" true
+    (has_error "overlapping-subtrees" fs);
+  check Alcotest.bool "root coverage error" true (has_error "root-relset" fs)
+
+let test_wrong_index_scan () =
+  let cat, q, estimator, j = join_fixture () in
+  (* fact(col0) has no index, and the query has no f.id = 5 predicate. *)
+  let corrupt_scan (node : Plan.t) =
+    match node with
+    | Plan.Scan s when q.Query.rels.(s.Plan.scan_rel).Query.table = "fact" ->
+      Plan.Scan { s with Plan.access = Plan.Index_scan { col = 0; key = 5 } }
+    | other -> other
+  in
+  let corrupted =
+    Plan.Join
+      { j with
+        Plan.outer = corrupt_scan j.Plan.outer;
+        inner = corrupt_scan j.Plan.inner }
+  in
+  let fs = Plan_lint.check ~catalog:cat ~estimator q corrupted in
+  check Alcotest.bool "no-such-index error" true (has_error "no-such-index" fs);
+  check Alcotest.bool "key mismatch error" true
+    (has_error "index-key-mismatch" fs)
+
+let test_stale_index_key () =
+  let cat = small_db () in
+  let q = bind cat (join_sql ^ " AND d.id = 7") in
+  let plan, estimator = plan_with_estimator cat q in
+  (* The optimizer picks an index scan d.id = 7; corrupt the key to a value
+     the query never asked for. *)
+  let rec corrupt (node : Plan.t) =
+    match node with
+    | Plan.Scan ({ Plan.access = Plan.Index_scan is; _ } as s) ->
+      Plan.Scan { s with Plan.access = Plan.Index_scan { is with key = 8 } }
+    | Plan.Scan _ -> node
+    | Plan.Join j ->
+      Plan.Join
+        { j with Plan.outer = corrupt j.Plan.outer; inner = corrupt j.Plan.inner }
+  in
+  let fs = Plan_lint.check ~catalog:cat ~estimator q (corrupt plan) in
+  check Alcotest.bool "stale key caught" true
+    (has_error "index-key-mismatch" fs)
+
+let test_stale_estimate () =
+  let cat, q, estimator, j = join_fixture () in
+  let corrupted = Plan.Join { j with Plan.join_est = j.Plan.join_est *. 10.0 } in
+  let fs = Plan_lint.check ~catalog:cat ~estimator q corrupted in
+  check Alcotest.bool "stale estimate error" true
+    (has_error "stale-estimate" fs);
+  (* Without an estimator the freshness check is skipped. *)
+  let fs = Plan_lint.check ~catalog:cat q corrupted in
+  check Alcotest.bool "skipped without estimator" false
+    (has_error "stale-estimate" fs)
+
+let test_corrupted_costs () =
+  let cat, q, estimator, j = join_fixture () in
+  let fs =
+    Plan_lint.check ~catalog:cat ~estimator q
+      (Plan.Join { j with Plan.join_cost = Float.nan })
+  in
+  check Alcotest.bool "nan cost error" true (has_error "cost-not-finite" fs);
+  let fs =
+    Plan_lint.check ~catalog:cat ~estimator q
+      (Plan.Join { j with Plan.join_cost = 0.0 })
+  in
+  check Alcotest.bool "non-monotone cost error" true
+    (has_error "cost-not-monotone" fs)
+
+(* ---- pipeline wiring ---- *)
+
+let test_workload_plans_lint_clean () =
+  let catalog = Lazy.force imdb in
+  let session = Session.create catalog in
+  Session.analyze session;
+  List.iter
+    (fun name ->
+      let q = Rdb_imdb.Job_queries.find catalog name in
+      let prepared = Session.prepare session q in
+      let plan, _, estimator =
+        Session.plan ~lint:true prepared ~mode:Estimator.Default
+      in
+      let fs = Plan_lint.check ~catalog ~estimator q plan in
+      check Alcotest.(list string) (name ^ " plan clean") [] (codes fs))
+    [ "1a"; "6d"; "16b"; "18a"; "25c"; "30a" ]
+
+let test_debug_hook_raises_on_corruption () =
+  let cat, q, _, j = join_fixture () in
+  let corrupted = Plan.Join { j with Plan.join_edges = [] } in
+  check Alcotest.bool "raises Lint_failed" true
+    (match Debug.check_plan_exn ~catalog:cat q corrupted with
+     | () -> false
+     | exception Debug.Lint_failed fs -> Finding.has_errors fs)
+
+let test_reopt_lints_clean () =
+  let catalog = Lazy.force imdb in
+  let session = Session.create catalog in
+  Session.analyze session;
+  let q = Rdb_imdb.Job_queries.find catalog "6d" in
+  (* ~lint:true checks every plan and every rewritten query in the loop;
+     reaching the outcome means the whole trajectory lints clean. *)
+  let outcome =
+    Reopt.run ~lint:true session ~trigger:(Trigger.create 2.0)
+      ~mode:Estimator.Default q
+  in
+  check Alcotest.bool "re-optimized" true (List.length outcome.Reopt.steps >= 1)
+
+let test_rdb_lint_env_enables_hook () =
+  Unix.putenv "RDB_LINT" "1";
+  let finally () = Unix.putenv "RDB_LINT" "0" in
+  Fun.protect ~finally (fun () ->
+      let cat = small_db () in
+      let q = bind cat join_sql in
+      let session = Session.create cat in
+      Session.analyze session;
+      let prepared = Session.prepare session q in
+      (* A clean plan passes through the installed hook without raising. *)
+      let plan, _, _ = Session.plan prepared ~mode:Estimator.Default in
+      check Alcotest.bool "planned under RDB_LINT=1" true
+        (Relset.equal (Plan.rel_set plan) (Relset.full 2)))
+
+let () =
+  Alcotest.run "rdb_analysis"
+    [
+      ( "query_lint",
+        [
+          Alcotest.test_case "JOB workload lints clean" `Quick
+            test_job_queries_lint_clean;
+          Alcotest.test_case "dangling alias" `Quick test_dangling_alias;
+          Alcotest.test_case "duplicate alias" `Quick test_duplicate_alias;
+          Alcotest.test_case "predicate column out of range" `Quick
+            test_predicate_column_out_of_range;
+          Alcotest.test_case "predicate type mismatch" `Quick
+            test_predicate_type_mismatch;
+          Alcotest.test_case "disconnected graph names components" `Quick
+            test_disconnected_join_graph_named;
+          Alcotest.test_case "duplicate and contradictory predicates" `Quick
+            test_duplicate_and_contradictory_predicates;
+          Alcotest.test_case "duplicate join edge" `Quick
+            test_duplicate_join_edge;
+        ] );
+      ( "plan_lint",
+        [
+          Alcotest.test_case "clean plan lints clean" `Quick
+            test_clean_plan_lints_clean;
+          Alcotest.test_case "swapped subtree relsets" `Quick
+            test_swapped_subtree_relsets;
+          Alcotest.test_case "dropped join edge" `Quick test_dropped_join_edge;
+          Alcotest.test_case "duplicated relation subtree" `Quick
+            test_duplicated_relation_subtree;
+          Alcotest.test_case "wrong index" `Quick test_wrong_index_scan;
+          Alcotest.test_case "stale index key" `Quick test_stale_index_key;
+          Alcotest.test_case "stale estimate" `Quick test_stale_estimate;
+          Alcotest.test_case "corrupted costs" `Quick test_corrupted_costs;
+        ] );
+      ( "wiring",
+        [
+          Alcotest.test_case "workload plans lint clean" `Quick
+            test_workload_plans_lint_clean;
+          Alcotest.test_case "debug hook raises" `Quick
+            test_debug_hook_raises_on_corruption;
+          Alcotest.test_case "reopt trajectory lints clean" `Quick
+            test_reopt_lints_clean;
+          Alcotest.test_case "RDB_LINT env enables hook" `Quick
+            test_rdb_lint_env_enables_hook;
+        ] );
+    ]

@@ -186,7 +186,9 @@ let test_optimizer_rejects_cartesian () =
   let cat = small_db () in
   let q = bind cat "SELECT COUNT(*) FROM dim AS d, fact AS f" in
   Alcotest.check_raises "cartesian"
-    (Invalid_argument "Optimizer: join graph is disconnected (cartesian product)")
+    (Invalid_argument
+       "Optimizer: join graph of q is disconnected (cartesian product); \
+        components: {d} | {f}")
     (fun () -> ignore (plan_query cat q))
 
 let test_optimizer_index_scan_for_selective_eq () =

@@ -168,17 +168,50 @@ let test_unparse_roundtrip () =
   in
   check Alcotest.bool "structurally equal" true (q1 = q2)
 
+(* Unparse -> Parser -> Binder must be the identity on bound queries:
+   anything less means the SQL we display is not the query we run. *)
+let roundtrip_exactly catalog (q : Query.t) =
+  let rendered = Unparse.query catalog q in
+  match Binder.bind catalog ~name:q.Query.name (Parser.parse rendered) with
+  | Ok q2 ->
+    if q <> q2 then
+      Alcotest.failf "roundtrip changed %s:\n%s" q.Query.name rendered
+  | Error e -> Alcotest.fail (q.Query.name ^ ": " ^ e)
+
 let test_unparse_all_job_queries_roundtrip () =
   let catalog = catalog () in
+  List.iter (roundtrip_exactly catalog) (Rdb_imdb.Job_queries.all catalog)
+
+let test_unparse_reopt_rewrites_roundtrip () =
+  (* Every query the re-optimizer rewrites mid-flight must round-trip too,
+     with its temp table substituted — the paper's Figure 6 display is
+     only honest if the rewritten SQL re-binds to the rewritten query. *)
+  let module Session = Rdb_core.Session in
+  let module Reopt = Rdb_core.Reopt in
+  let module Trigger = Rdb_core.Trigger in
+  let catalog = Rdb_imdb.Imdb_gen.generate ~scale:0.02 () in
+  let session = Session.create catalog in
+  Session.analyze session;
+  let steps_seen = ref 0 in
   List.iter
     (fun q ->
-      let rendered = Unparse.query catalog q in
-      match Binder.bind catalog ~name:q.Query.name (Parser.parse rendered) with
-      | Ok q2 ->
-        if not (q.Query.rels = q2.Query.rels && List.length q.Query.edges = List.length q2.Query.edges)
-        then Alcotest.fail ("roundtrip changed " ^ q.Query.name)
-      | Error e -> Alcotest.fail (q.Query.name ^ ": " ^ e))
-    (Rdb_imdb.Job_queries.all catalog)
+      let outcome =
+        Reopt.run ~work_budget:50_000_000 ~cleanup:false session
+          ~trigger:(Trigger.create 8.0) ~mode:Rdb_card.Estimator.Default q
+      in
+      List.iter
+        (fun (s : Reopt.step) ->
+          incr steps_seen;
+          roundtrip_exactly catalog s.Reopt.query_after)
+        outcome.Reopt.steps;
+      List.iter
+        (fun (s : Reopt.step) ->
+          Catalog.drop_table catalog s.Reopt.temp_name;
+          Rdb_stats.Db_stats.drop (Session.stats session)
+            ~table:s.Reopt.temp_name)
+        outcome.Reopt.steps)
+    (Rdb_imdb.Job_queries.all catalog);
+  check Alcotest.bool "rewrites exercised" true (!steps_seen > 10)
 
 
 let test_parser_aggregates () =
@@ -260,5 +293,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_unparse_roundtrip;
           Alcotest.test_case "all JOB queries roundtrip" `Quick
             test_unparse_all_job_queries_roundtrip;
+          Alcotest.test_case "reopt rewrites roundtrip" `Quick
+            test_unparse_reopt_rewrites_roundtrip;
         ] );
     ]
