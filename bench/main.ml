@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- micro            # micro-benchmarks only
      dune exec bench/main.exe -- --scale 1.0 all  # bigger database
      dune exec bench/main.exe -- --jobs 4 all     # 4 domains (0 = all cores)
+     dune exec bench/main.exe -- --json out.json fig2   # metrics report
 
    The default scale factor is 0.3 so the complete suite finishes in
    ~20 minutes on one core; every shape discussed in EXPERIMENTS.md is
@@ -113,6 +114,7 @@ let () =
   let scale = ref 0.3 in
   let seed = ref 42 in
   let jobs = ref 1 in
+  let json_path = ref None in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -124,6 +126,9 @@ let () =
       parse rest
     | "--jobs" :: v :: rest ->
       jobs := int_of_string v;
+      parse rest
+    | "--json" :: v :: rest ->
+      json_path := Some v;
       parse rest
     | name :: rest ->
       selected := name :: !selected;
@@ -143,14 +148,50 @@ let () =
       (Unix.gettimeofday () -. t0);
     lab)
   in
+  let module Metrics = Rdb_obs.Metrics in
+  let module J = Rdb_obs.Json in
+  let reports = ref [] in
   List.iter
     (fun name ->
       let t0 = Unix.gettimeofday () in
+      let before = Metrics.snapshot () in
       (match name with
        | "micro" -> run_micro ()
        | "table3" -> print_endline (Experiments.table3 ())
        | "skew" -> print_endline (Experiments.skew_example ())
        | name -> print_endline (Experiments.run ~jobs (Lazy.force lab) name));
-      Printf.printf "[%s done in %.1fs]\n\n%!" name
-        (Unix.gettimeofday () -. t0))
-    selected
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let after = Metrics.snapshot () in
+      let deltas =
+        List.map (fun (k, v) -> (k, J.Int v))
+          (Metrics.diff_counters ~after ~before)
+      in
+      reports :=
+        J.Obj
+          [ ("name", J.Str name);
+            ("elapsed_s", J.Float elapsed);
+            ("metrics", J.Obj deltas) ]
+        :: !reports;
+      Printf.printf "[%s done in %.1fs]\n\n%!" name elapsed)
+    selected;
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    (* The perf-trajectory report: per-experiment engine counters (plans
+       built, DP pairs, re-opt steps, work, switches) plus run totals, so
+       successive BENCH_*.json files are comparable across commits. *)
+    let doc =
+      J.Obj
+        [ ("meta",
+           J.Obj
+             [ ("scale", J.Float !scale);
+               ("seed", J.Int !seed);
+               ("jobs", J.Int jobs) ]);
+          ("experiments", J.List (List.rev !reports));
+          ("totals", Metrics.to_json (Metrics.snapshot ())) ]
+    in
+    let oc = open_out path in
+    output_string oc (J.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "metrics report written to %s\n%!" path

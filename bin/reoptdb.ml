@@ -3,10 +3,14 @@
      reoptdb queries                    list the workload
      reoptdb sql 16b                    print a query's SQL
      reoptdb explain 6d [--mode ...]    plan + EXPLAIN with true cardinalities
+     reoptdb explain 6d --analyze       execute too: actual rows, Q-error,
+                                        adaptive switches, re-opt trigger
      reoptdb run 6d [--reopt 32]        execute, optionally with re-optimization
      reoptdb experiment fig2 [...]      regenerate a table/figure of the paper
      reoptdb lint [--scale 0.1]         lint every workload query and plan
-*)
+
+   Set RDB_TRACE=stderr (or =path for JSON-lines) to trace every pipeline
+   phase as nested timed spans. *)
 
 open Cmdliner
 
@@ -94,7 +98,22 @@ let cmd_sql =
 (* ---- explain ---- *)
 
 let cmd_explain =
-  let run name scale seed mode_str =
+  let analyze_arg =
+    Arg.(value & flag & info [ "analyze" ]
+           ~doc:"Execute the plan and annotate every operator with its \
+                 actual row count, Q-error, adaptive switches, and the \
+                 join the re-optimization trigger would materialize.")
+  in
+  let adaptive_arg =
+    Arg.(value & flag & info [ "adaptive" ]
+           ~doc:"With --analyze: execute with Cuttlefish-style runtime \
+                 operator switching, so demotions show in the output.")
+  in
+  let trigger_arg =
+    Arg.(value & opt float 32.0 & info [ "reopt" ] ~docv:"THRESHOLD"
+           ~doc:"With --analyze: Q-error threshold of the trigger marker.")
+  in
+  let run name scale seed mode_str analyze adaptive threshold =
     match parse_mode mode_str with
     | Error e -> prerr_endline e; 1
     | Ok mode ->
@@ -106,15 +125,33 @@ let cmd_explain =
       Printf.printf "planning: %d csg-cmp pairs, %.2fms\n\n"
         pstats.Rdb_plan.Optimizer.pairs_considered
         pstats.Rdb_plan.Optimizer.plan_ms;
-      let oracle = Session.oracle prepared in
-      print_string
-        (Rdb_plan.Explain.render
-           ~actuals:(fun set -> Some (Oracle.true_card oracle set))
-           q plan);
+      if analyze then begin
+        let res = Session.execute ~adaptive prepared plan in
+        print_string
+          (Rdb_core.Explain_analyze.render
+             ~trigger:(Trigger.create threshold) prepared plan res);
+        List.iter
+          (fun v -> print_endline ("  " ^ Value.to_string v))
+          res.Executor.aggs
+      end
+      else begin
+        let oracle = Session.oracle prepared in
+        print_string
+          (Rdb_plan.Explain.render
+             ~actuals:(fun set -> Some (Oracle.true_card oracle set))
+             q plan)
+      end;
+      Rdb_obs.Trace.flush ();
       0
   in
-  Cmd.v (Cmd.info "explain" ~doc:"Plan a query and print EXPLAIN with true cardinalities.")
-    Term.(const run $ query_pos $ scale_arg $ seed_arg $ mode_arg)
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Plan a query and print EXPLAIN with true cardinalities; with \
+          --analyze, execute it and print EXPLAIN ANALYZE (actual rows, \
+          Q-error, work, adaptive switches, re-opt trigger).")
+    Term.(const run $ query_pos $ scale_arg $ seed_arg $ mode_arg
+          $ analyze_arg $ adaptive_arg $ trigger_arg)
 
 (* ---- run ---- *)
 
@@ -177,16 +214,47 @@ let cmd_experiment =
                  domains (0 = one per core). Deterministic measurements \
                  are identical to a sequential run.")
   in
-  let run name scale seed jobs =
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
+           ~doc:"Also dump the engine's metrics registry (plans built, DP \
+                 pairs, re-opt steps, work units, adaptive switches, …) \
+                 for this experiment as JSON to PATH.")
+  in
+  let run name scale seed jobs json_path =
     let jobs = if jobs = 0 then Rdb_util.Pool.default_jobs () else jobs in
     let lab = Rdb_harness.Runner.create_lab ~seed ~scale () in
     (try
+       let before = Rdb_obs.Metrics.snapshot () in
        print_endline (Rdb_harness.Experiments.run ~jobs lab name);
+       (match json_path with
+        | None -> ()
+        | Some path ->
+          let after = Rdb_obs.Metrics.snapshot () in
+          let module J = Rdb_obs.Json in
+          let counters =
+            List.map
+              (fun (k, v) -> (k, J.Int v))
+              (Rdb_obs.Metrics.diff_counters ~after ~before)
+          in
+          let doc =
+            J.Obj
+              [ ("experiment", J.Str name);
+                ("scale", J.Float scale);
+                ("seed", J.Int seed);
+                ("jobs", J.Int jobs);
+                ("metrics", J.Obj counters);
+                ("totals", Rdb_obs.Metrics.to_json after) ]
+          in
+          let oc = open_out path in
+          output_string oc (J.to_string doc);
+          output_char oc '\n';
+          close_out oc;
+          Printf.eprintf "metrics written to %s\n%!" path);
        0
      with Invalid_argument e -> prerr_endline e; 1)
   in
   Cmd.v (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables/figures.")
-    Term.(const run $ exp_pos $ scale_arg $ seed_arg $ jobs_arg)
+    Term.(const run $ exp_pos $ scale_arg $ seed_arg $ jobs_arg $ json_arg)
 
 (* ---- lint ---- *)
 

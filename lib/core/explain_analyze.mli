@@ -1,0 +1,20 @@
+(** EXPLAIN ANALYZE rendering: the plan tree annotated with what actually
+    happened when it ran — per-operator actual rows and Q-error from the
+    executor's observations, adaptive operator switches (planned vs
+    executed algorithm), and, when a trigger is supplied, a marker on the
+    join the re-optimizer would materialize (chosen exactly as
+    {!Reopt.find_trigger} does: fewest relations, then deepest, then
+    post-order). A totals line (rows, work units, execution time,
+    switches) follows the tree. *)
+
+module Plan := Rdb_plan.Plan
+module Executor := Rdb_exec.Executor
+
+val render :
+  ?trigger:Trigger.t ->
+  Session.prepared ->
+  Plan.t ->
+  Executor.result ->
+  string
+(** [render ?trigger prepared plan res] — [res] must come from executing
+    [plan] (its observations are keyed by the plan's relation sets). *)

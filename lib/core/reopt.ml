@@ -4,6 +4,8 @@ module Query = Rdb_query.Query
 module Oracle = Rdb_card.Oracle
 module Plan = Rdb_plan.Plan
 module Executor = Rdb_exec.Executor
+module Trace = Rdb_obs.Trace
+module Metrics = Rdb_obs.Metrics
 
 type step = {
   materialized_set : Relset.t;
@@ -152,13 +154,23 @@ let rewrite (q : Query.t) ~set ~temp_name ~temp_cols =
   in
   { Query.name = q.Query.name ^ "+"; rels; preds; edges; select }
 
-(* The lowest (fewest relations, then deepest in post-order) join operator
-   whose Q-error trips the trigger. *)
+(* The lowest join operator whose Q-error trips the trigger: fewest
+   relations first, ties broken by the deeper node in the plan tree, and a
+   remaining tie (equal size at equal depth, necessarily in disjoint
+   subtrees) by post-order position — a deterministic choice however many
+   joins of the same size trip. *)
 let find_trigger prepared plan (trigger : Trigger.t) =
   let oracle = Session.oracle prepared in
   let best = ref None in
-  List.iter
-    (fun (j : Plan.join) ->
+  let rec walk depth node =
+    match node with
+    | Plan.Scan _ -> ()
+    | Plan.Join j ->
+      (* Post-order: children first, so at equal (size, depth) the first
+         candidate considered — kept by the strict comparisons below — is
+         the post-order-earliest one. *)
+      walk (depth + 1) j.Plan.outer;
+      walk (depth + 1) j.Plan.inner;
       let set = Relset.union (Plan.rel_set j.Plan.outer) (Plan.rel_set j.Plan.inner) in
       let est = j.Plan.join_est in
       let actual = float_of_int (Oracle.true_card oracle set) in
@@ -167,13 +179,16 @@ let find_trigger prepared plan (trigger : Trigger.t) =
         let better =
           match !best with
           | None -> true
-          | Some (_, prev_set, _, _) -> size < Relset.cardinal prev_set
+          | Some (_, prev_set, _, _, prev_depth) ->
+            let prev_size = Relset.cardinal prev_set in
+            size < prev_size || (size = prev_size && depth > prev_depth)
         in
         if better then
-          best := Some (j, set, est, Stat_utils.q_error ~est ~actual)
-      end)
-    (Plan.joins_bottom_up plan);
-  !best
+          best := Some (j, set, est, Stat_utils.q_error ~est ~actual, depth)
+      end
+  in
+  walk 0 plan;
+  Option.map (fun (j, set, est, q_err, _depth) -> (j, set, est, q_err)) !best
 
 let temp_schema session (q : Query.t) temp_cols =
   let catalog = Session.catalog session in
@@ -197,21 +212,36 @@ let run ?lint ?work_budget ?deadline_ms ?(cleanup = true) ?(max_steps = 32)
       | Some p when step_count = 0 && Session.query p == q -> p
       | Some _ | None -> Session.prepare session q
     in
-    let plan, pstats, _estimator = Session.plan ~lint prepared ~mode in
+    let plan, pstats, _estimator =
+      if step_count = 0 then Session.plan ~lint prepared ~mode
+      else
+        Trace.span "reopt.replan"
+          ~attrs:[ ("query", q.Query.name) ]
+          (fun () -> Session.plan ~lint prepared ~mode)
+    in
     let plan_times = pstats.Rdb_plan.Optimizer.plan_ms :: plan_times in
     let trigger_hit =
       if step_count >= max_steps then None else find_trigger prepared plan trigger
     in
     match trigger_hit with
     | None ->
-      let final_exec = Session.execute ?work_budget ?deadline_ms prepared plan in
+      let final_exec =
+        Trace.span "reopt.execute"
+          ~attrs:[ ("query", q.Query.name) ]
+          (fun () -> Session.execute ?work_budget ?deadline_ms prepared plan)
+      in
       (q, plan, final_exec, List.rev steps, List.rev plan_times)
     | Some (jnode, set, est, q_err) ->
       let temp_cols = needed_cols q set in
+      let aliases = List.map (Query.rel_alias q) (Relset.to_list set) in
       let mat =
-        Executor.materialize ?work_budget ?deadline_ms
-          ~catalog:(Session.catalog session) ~query:q ~cols:temp_cols
-          (Plan.Join jnode)
+        Trace.span "reopt.materialize"
+          ~attrs:
+            [ ("query", q.Query.name); ("set", String.concat "," aliases) ]
+          (fun () ->
+            Executor.materialize ?work_budget ?deadline_ms
+              ~catalog:(Session.catalog session) ~query:q ~cols:temp_cols
+              (Plan.Join jnode))
       in
       let temp_name = Session.fresh_temp_name session in
       temp_names := temp_name :: !temp_names;
@@ -220,7 +250,11 @@ let run ?lint ?work_budget ?deadline_ms ?(cleanup = true) ?(max_steps = 32)
         Table.of_rows ~name:temp_name ~schema mat.Executor.mat_rows
       in
       Catalog.add_table (Session.catalog session) table;
-      Session.analyze_table session temp_name;
+      Trace.span "reopt.analyze"
+        ~attrs:[ ("table", temp_name) ]
+        (fun () -> Session.analyze_table session temp_name);
+      Metrics.incr "reopt.steps";
+      Metrics.incr ~by:(Table.nrows table) "reopt.temp_rows";
       let q' = rewrite q ~set ~temp_name ~temp_cols in
       (* The rewrite is exactly where silent invariant breakage (dangling
          aliases, predicates on materialized-away columns) turns into wrong
@@ -231,8 +265,7 @@ let run ?lint ?work_budget ?deadline_ms ?(cleanup = true) ?(max_steps = 32)
       let step =
         {
           materialized_set = set;
-          materialized_aliases =
-            List.map (Query.rel_alias q) (Relset.to_list set);
+          materialized_aliases = aliases;
           temp_name;
           temp_rows = Table.nrows table;
           trigger_q_error = q_err;
@@ -256,14 +289,15 @@ let run ?lint ?work_budget ?deadline_ms ?(cleanup = true) ?(max_steps = 32)
   | final_query, final_plan, final_exec, steps, plan_times ->
     if cleanup then cleanup_temps ();
     (* plan_times.(0) planned the original query; plan_times.(i) planned
-       the SELECT that step i's rewrite produced. *)
+       the SELECT that step i's rewrite produced. The loop plans exactly
+       once per iteration and runs one iteration more than it steps, so
+       the tails zip one-to-one. *)
     let steps =
-      List.mapi
-        (fun i s ->
-          match List.nth_opt plan_times (i + 1) with
-          | Some ms -> { s with replan_ms = ms }
-          | None -> s)
-        steps
+      match plan_times with
+      | [] -> assert false
+      | _initial :: replans ->
+        assert (List.compare_lengths replans steps = 0);
+        List.map2 (fun s ms -> { s with replan_ms = ms }) steps replans
     in
     let mat_ms = List.fold_left (fun acc s -> acc +. s.mat_ms) 0.0 steps in
     let mat_work = List.fold_left (fun acc s -> acc + s.mat_work) 0 steps in

@@ -63,6 +63,18 @@ val run :
     and every rewritten query (with its temp table substituted); error
     findings raise [Rdb_analysis.Debug.Lint_failed]. *)
 
+val find_trigger :
+  Session.prepared ->
+  Plan.t ->
+  Trigger.t ->
+  (Plan.join * Relset.t * float * float) option
+(** The join the trigger selects for materialization, with its relation
+    set, estimate and Q-error — fewest relations first, ties broken by
+    tree depth (deepest wins), then by post-order position, so the choice
+    is deterministic even when several joins of the same size trip.
+    [None] when no join trips. Exposed for EXPLAIN ANALYZE (which marks
+    this join) and for the tie-break regression tests. *)
+
 val rewrite :
   Query.t ->
   set:Relset.t ->

@@ -9,6 +9,7 @@ module Plan = Rdb_plan.Plan
 module Optimizer = Rdb_plan.Optimizer
 module Search_space = Rdb_plan.Search_space
 module Executor = Rdb_exec.Executor
+module Trace = Rdb_obs.Trace
 
 type t = {
   catalog : Catalog.t;
@@ -55,16 +56,19 @@ type prepared = {
 }
 
 let prepare t q =
-  (match Query.validate t.catalog q with
-   | Ok () -> ()
-   | Error msg -> invalid_arg ("Session.prepare: " ^ msg));
-  let graph = Join_graph.make q in
-  {
-    session = t;
-    q;
-    oracle = Oracle.create t.catalog q;
-    space = Search_space.build graph;
-  }
+  Trace.span "session.prepare"
+    ~attrs:[ ("query", q.Query.name) ]
+    (fun () ->
+      (match Query.validate t.catalog q with
+       | Ok () -> ()
+       | Error msg -> invalid_arg ("Session.prepare: " ^ msg));
+      let graph = Join_graph.make q in
+      {
+        session = t;
+        q;
+        oracle = Oracle.create t.catalog q;
+        space = Search_space.build graph;
+      })
 
 let query p = p.q
 let oracle p = p.oracle
@@ -72,28 +76,37 @@ let space p = p.space
 let session p = p.session
 
 let plan ?lint ?log p ~mode =
-  let estimator =
-    Estimator.create ?log ~mode ~catalog:p.session.catalog
-      ~stats:p.session.stats ~oracle:p.oracle p.q
-  in
-  let plan, stats =
-    Optimizer.plan ?lint ~space:p.space ~cost_params:p.session.cost_params
-      ~catalog:p.session.catalog ~estimator p.q
-  in
-  (plan, stats, estimator)
+  Trace.span "session.plan"
+    ~attrs:[ ("query", p.q.Query.name) ]
+    (fun () ->
+      let estimator =
+        Estimator.create ?log ~mode ~catalog:p.session.catalog
+          ~stats:p.session.stats ~oracle:p.oracle p.q
+      in
+      let plan, stats =
+        Optimizer.plan ?lint ~space:p.space ~cost_params:p.session.cost_params
+          ~catalog:p.session.catalog ~estimator p.q
+      in
+      (plan, stats, estimator))
 
 let plan_robust ?lint ?log ~uncertainty p ~mode =
-  let estimator =
-    Estimator.create ?log ~mode ~catalog:p.session.catalog
-      ~stats:p.session.stats ~oracle:p.oracle p.q
-  in
-  let plan, stats =
-    Optimizer.plan_robust ?lint ~space:p.space
-      ~cost_params:p.session.cost_params ~uncertainty
-      ~catalog:p.session.catalog ~estimator p.q
-  in
-  (plan, stats, estimator)
+  Trace.span "session.plan_robust"
+    ~attrs:[ ("query", p.q.Query.name) ]
+    (fun () ->
+      let estimator =
+        Estimator.create ?log ~mode ~catalog:p.session.catalog
+          ~stats:p.session.stats ~oracle:p.oracle p.q
+      in
+      let plan, stats =
+        Optimizer.plan_robust ?lint ~space:p.space
+          ~cost_params:p.session.cost_params ~uncertainty
+          ~catalog:p.session.catalog ~estimator p.q
+      in
+      (plan, stats, estimator))
 
 let execute ?work_budget ?deadline_ms ?adaptive p plan =
-  Executor.execute ?work_budget ?deadline_ms ?adaptive
-    ~catalog:p.session.catalog ~query:p.q plan
+  Trace.span "session.execute"
+    ~attrs:[ ("query", p.q.Query.name) ]
+    (fun () ->
+      Executor.execute ?work_budget ?deadline_ms ?adaptive
+        ~catalog:p.session.catalog ~query:p.q plan)

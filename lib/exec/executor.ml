@@ -3,6 +3,7 @@ module Int_vec = Rdb_util.Int_vec
 module Query = Rdb_query.Query
 module Predicate = Rdb_query.Predicate
 module Plan = Rdb_plan.Plan
+module Metrics = Rdb_obs.Metrics
 
 type node_obs = {
   obs_set : Relset.t;
@@ -34,11 +35,20 @@ type ctx = {
   budget : int option;
   deadline_ms : float option;
   mutable next_deadline_check : int;
+  mutable deadline_stride : int;
   start : float;
   mutable obs : node_obs list;
   adaptive : bool;
   mutable switches : int;
 }
+
+(* The deadline clock is read on a geometric schedule: the first check
+   fires after [initial_deadline_stride] work units so that millisecond
+   deadlines bite even on cheap plans, then the stride doubles up to
+   [max_deadline_stride] so the gettimeofday call stays negligible on the
+   plans the budget actually exists for. *)
+let initial_deadline_stride = 1_024
+let max_deadline_stride = 4_000_000
 
 let now () = Unix.gettimeofday ()
 
@@ -48,16 +58,18 @@ let spend ctx n =
   ctx.work <- ctx.work + n;
   (match ctx.budget with
    | Some b when ctx.work > b ->
+     Metrics.incr "exec.budget_aborts";
      raise (Work_budget_exceeded { spent = ctx.work; elapsed_ms = elapsed_ms ctx })
    | Some _ | None -> ());
-  (* Wall-clock deadline, checked every ~4M work units so the clock itself
-     stays cheap. *)
   match ctx.deadline_ms with
   | Some limit when ctx.work >= ctx.next_deadline_check ->
-    ctx.next_deadline_check <- ctx.work + 4_000_000;
+    ctx.deadline_stride <- Int.min (2 * ctx.deadline_stride) max_deadline_stride;
+    ctx.next_deadline_check <- ctx.work + ctx.deadline_stride;
     let e = elapsed_ms ctx in
-    if e > limit then
+    if e > limit then begin
+      Metrics.incr "exec.deadline_aborts";
       raise (Work_budget_exceeded { spent = ctx.work; elapsed_ms = e })
+    end
   | Some _ | None -> ()
 
 let pos_of_rel inter rel =
@@ -399,6 +411,7 @@ let rec exec ctx node =
              && float_of_int outer.nrows
                 > adaptive_switch_factor *. Plan.est_rows j.Plan.outer ->
         ctx.switches <- ctx.switches + 1;
+        Metrics.incr "exec.switches";
         Plan.Hash_join
       | algo -> algo
     in
@@ -436,7 +449,8 @@ let make_ctx ?work_budget ?deadline_ms ?(adaptive = false) ~catalog ~query () =
     work = 0;
     budget = work_budget;
     deadline_ms;
-    next_deadline_check = 4_000_000;
+    next_deadline_check = initial_deadline_stride;
+    deadline_stride = initial_deadline_stride;
     start = now ();
     obs = [];
     adaptive;
@@ -484,6 +498,8 @@ let execute ?work_budget ?deadline_ms ?adaptive ~catalog ~query plan =
   let ctx = make_ctx ?work_budget ?deadline_ms ?adaptive ~catalog ~query () in
   let inter = exec ctx plan in
   let aggs = eval_aggs ctx inter in
+  Metrics.incr "exec.queries";
+  Metrics.incr ~by:ctx.work "exec.work";
   {
     aggs;
     out_rows = inter.nrows;
@@ -517,4 +533,5 @@ let materialize ?work_budget ?deadline_ms ~catalog ~query ~cols plan =
     in
     rows := row :: !rows
   done;
+  Metrics.incr ~by:ctx.work "exec.work";
   { mat_rows = !rows; mat_work = ctx.work; mat_elapsed_ms = elapsed_ms ctx }

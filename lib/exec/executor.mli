@@ -43,7 +43,9 @@ val execute :
   result
 (** [work_budget] and [deadline_ms] both abort via
     {!Work_budget_exceeded}: the former deterministically, the latter by
-    wall clock (checked every ~4M work units). [adaptive] (default false)
+    wall clock — checked on a geometric schedule starting after ~1k work
+    units (so millisecond deadlines bite even on cheap plans) and backing
+    off to every ~4M units. [adaptive] (default false)
     enables Cuttlefish-style runtime operator switching (§II-D): a
     nested-loop-family join whose outer input exceeds its estimate 8x is
     demoted to a hash join — join order stays fixed, the very limitation

@@ -850,9 +850,11 @@ let names = List.map fst named
 let run ?(jobs = 1) lab name =
   match List.assoc_opt name named with
   | Some (`Lab f) ->
-    prewarm ~jobs lab name;
-    f lab
-  | Some (`Unit f) -> f ()
+    Rdb_obs.Trace.span "experiment" ~attrs:[ ("name", name) ] (fun () ->
+        prewarm ~jobs lab name;
+        f lab)
+  | Some (`Unit f) ->
+    Rdb_obs.Trace.span "experiment" ~attrs:[ ("name", name) ] f
   | None -> invalid_arg ("Experiments.run: unknown experiment " ^ name)
 
 let all ?jobs lab =

@@ -165,25 +165,30 @@ let run_query lab config q =
   | Some m -> m
   | None ->
     let m =
-      (* A budget blowup anywhere in a cell — including the paths outside
-         measure_*'s own guards, like planning-time sampling probes — must
-         cap that one cell, never abort the whole sweep. *)
-      try
-        match config with
-        | Default | Perfect _ | Perfect_all | Sampling_est _ | Robust _
-        | Adaptive ->
-          measure_plain lab config q
-        | Reopt thr | Perfect_reopt (_, thr) -> measure_reopt lab config q thr
-      with Executor.Work_budget_exceeded { spent; elapsed_ms } ->
-        {
-          m_query = q.Query.name;
-          m_rels = Query.n_rels q;
-          m_plan_ms = 0.0;
-          m_exec_ms = elapsed_ms;
-          m_work = spent;
-          m_capped = true;
-          m_steps = 0;
-        }
+      Rdb_obs.Trace.span "runner.cell"
+        ~attrs:[ ("config", config_name config); ("query", q.Query.name) ]
+        (fun () ->
+          (* A budget blowup anywhere in a cell — including the paths
+             outside measure_*'s own guards, like planning-time sampling
+             probes — must cap that one cell, never abort the whole
+             sweep. *)
+          try
+            match config with
+            | Default | Perfect _ | Perfect_all | Sampling_est _ | Robust _
+            | Adaptive ->
+              measure_plain lab config q
+            | Reopt thr | Perfect_reopt (_, thr) ->
+              measure_reopt lab config q thr
+          with Executor.Work_budget_exceeded { spent; elapsed_ms } ->
+            {
+              m_query = q.Query.name;
+              m_rels = Query.n_rels q;
+              m_plan_ms = 0.0;
+              m_exec_ms = elapsed_ms;
+              m_work = spent;
+              m_capped = true;
+              m_steps = 0;
+            })
     in
     Hashtbl.replace lab.cache key m;
     m

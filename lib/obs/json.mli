@@ -1,0 +1,23 @@
+(** A dependency-free JSON value type: enough to render the trace sink's
+    JSON-lines records and the metrics reports, plus a strict parser used
+    by tests and the CI smoke job to validate what was written. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. NaN and infinite floats become [null]
+    (JSON has no literal for them). *)
+
+val parse_opt : string -> t option
+(** Strict parse of one complete JSON value (surrounding whitespace
+    allowed); [None] on any syntax error or trailing garbage. *)
+
+val is_valid : string -> bool
+(** [is_valid s] is [Option.is_some (parse_opt s)]. *)

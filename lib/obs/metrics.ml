@@ -1,0 +1,128 @@
+type stat = { count : int; sum : float; min : float; max : float }
+
+type snapshot = {
+  counters : (string * int) list;
+  stats : (string * stat) list;
+}
+
+(* Domain-sharded registry, in the same spirit as the worker-private labs
+   of [Rdb_harness.Runner]: each domain mutates only its own shard (one
+   uncontended mutex per update, so TSan-clean), and readers merge every
+   shard under the shard mutexes. The global lock is only taken to
+   register a new domain's shard or to enumerate them. *)
+type shard = {
+  smu : Mutex.t;
+  c : (string, int) Hashtbl.t;
+  s : (string, stat) Hashtbl.t;
+}
+
+let registry_mu = Mutex.create ()
+let shards : shard list ref = ref []
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let sh = { smu = Mutex.create (); c = Hashtbl.create 16; s = Hashtbl.create 16 } in
+      Mutex.lock registry_mu;
+      shards := sh :: !shards;
+      Mutex.unlock registry_mu;
+      sh)
+
+let with_shard f =
+  let sh = Domain.DLS.get shard_key in
+  Mutex.lock sh.smu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.smu) (fun () -> f sh)
+
+let incr ?(by = 1) name =
+  with_shard (fun sh ->
+      Hashtbl.replace sh.c name
+        (by + Option.value ~default:0 (Hashtbl.find_opt sh.c name)))
+
+let observe name v =
+  with_shard (fun sh ->
+      let merged =
+        match Hashtbl.find_opt sh.s name with
+        | None -> { count = 1; sum = v; min = v; max = v }
+        | Some t ->
+          {
+            count = t.count + 1;
+            sum = t.sum +. v;
+            min = Float.min t.min v;
+            max = Float.max t.max v;
+          }
+      in
+      Hashtbl.replace sh.s name merged)
+
+let all_shards () =
+  Mutex.lock registry_mu;
+  let l = !shards in
+  Mutex.unlock registry_mu;
+  l
+
+let snapshot () =
+  let c : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let s : (string, stat) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun sh ->
+      Mutex.lock sh.smu;
+      Hashtbl.iter
+        (fun k v ->
+          Hashtbl.replace c k (v + Option.value ~default:0 (Hashtbl.find_opt c k)))
+        sh.c;
+      Hashtbl.iter
+        (fun k v ->
+          let merged =
+            match Hashtbl.find_opt s k with
+            | None -> v
+            | Some t ->
+              {
+                count = t.count + v.count;
+                sum = t.sum +. v.sum;
+                min = Float.min t.min v.min;
+                max = Float.max t.max v.max;
+              }
+          in
+          Hashtbl.replace s k merged)
+        sh.s;
+      Mutex.unlock sh.smu)
+    (all_shards ());
+  let sorted tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+  { counters = sorted c; stats = sorted s }
+
+let reset () =
+  List.iter
+    (fun sh ->
+      Mutex.lock sh.smu;
+      Hashtbl.reset sh.c;
+      Hashtbl.reset sh.s;
+      Mutex.unlock sh.smu)
+    (all_shards ())
+
+let counter snap name =
+  Option.value ~default:0 (List.assoc_opt name snap.counters)
+
+let diff_counters ~after ~before =
+  List.filter_map
+    (fun (k, v) ->
+      let d = v - counter before k in
+      if d = 0 then None else Some (k, d))
+    after.counters
+
+let to_json snap =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.counters) );
+      ( "stats",
+        Json.Obj
+          (List.map
+             (fun (k, (v : stat)) ->
+               ( k,
+                 Json.Obj
+                   [
+                     ("count", Json.Int v.count);
+                     ("sum", Json.Float v.sum);
+                     ("min", Json.Float v.min);
+                     ("max", Json.Float v.max);
+                   ] ))
+             snap.stats) );
+    ]

@@ -6,7 +6,7 @@ let colref_name (q : Query.t) (cr : Query.colref) catalog_name =
   ignore catalog_name;
   Printf.sprintf "%s.c%d" (Query.rel_alias q cr.Query.rel) cr.Query.col
 
-let render ?actuals (q : Query.t) plan =
+let render ?actuals ?notes (q : Query.t) plan =
   let buf = Buffer.create 256 in
   let actual_str set =
     match actuals with
@@ -15,6 +15,12 @@ let render ?actuals (q : Query.t) plan =
       (match f set with
        | Some rows -> Printf.sprintf " (actual rows=%d)" rows
        | None -> "")
+  in
+  let notes_str set =
+    match notes with
+    | None -> ""
+    | Some f ->
+      String.concat "" (List.map (fun note -> " " ^ note) (f set))
   in
   let rec go indent node =
     let pad = String.make (indent * 2) ' ' in
@@ -39,11 +45,12 @@ let render ?actuals (q : Query.t) plan =
                  preds)
       in
       Buffer.add_string buf
-        (Printf.sprintf "%s%s on %s %s  (est rows=%.0f cost=%.1f)%s%s\n" pad
+        (Printf.sprintf "%s%s on %s %s  (est rows=%.0f cost=%.1f)%s%s%s\n" pad
            access rel.Query.table rel.Query.alias s.Plan.scan_est
            s.Plan.scan_cost
            (actual_str (Relset.singleton s.Plan.scan_rel))
-           preds_str)
+           preds_str
+           (notes_str (Relset.singleton s.Plan.scan_rel)))
     | Plan.Join j ->
       let set = Relset.union (Plan.rel_set j.Plan.outer) (Plan.rel_set j.Plan.inner) in
       let conds =
@@ -54,9 +61,10 @@ let render ?actuals (q : Query.t) plan =
              j.Plan.join_edges)
       in
       Buffer.add_string buf
-        (Printf.sprintf "%s%s on %s  (est rows=%.0f cost=%.1f)%s\n" pad
+        (Printf.sprintf "%s%s on %s  (est rows=%.0f cost=%.1f)%s%s\n" pad
            (Plan.algo_name j.Plan.algo)
-           conds j.Plan.join_est j.Plan.join_cost (actual_str set));
+           conds j.Plan.join_est j.Plan.join_cost (actual_str set)
+           (notes_str set));
       go (indent + 1) j.Plan.outer;
       go (indent + 1) j.Plan.inner
   in

@@ -5,9 +5,14 @@ module Query := Rdb_query.Query
 
 val render :
   ?actuals:(Relset.t -> int option) ->
+  ?notes:(Relset.t -> string list) ->
   Query.t ->
   Plan.t ->
   string
 (** Multi-line tree. When [actuals] is given, each node also shows the true
     row count for its relation set — the paper's EXPLAIN ANALYZE view that
-    drives the re-optimization trigger. *)
+    drives the re-optimization trigger. [notes] appends arbitrary
+    annotations to each node's line, keyed by the node's relation set
+    (sets are unique within one plan tree); [Rdb_core.Explain_analyze]
+    uses it to splice executed actuals, Q-errors, adaptive switches and
+    the re-opt trigger marker into the rendering. *)

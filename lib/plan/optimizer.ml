@@ -182,6 +182,9 @@ let dp ?space ?(cost_params = Cost_model.default) ~catalog ~estimator (q : Query
       consider ~outer:p1 ~inner:p2 ~edges:edges12;
       consider ~outer:p2 ~inner:p1 ~edges:edges21);
   let elapsed = now_ms () -. start in
+  Rdb_obs.Metrics.incr "plan.built";
+  Rdb_obs.Metrics.incr ~by:!pairs "plan.dp_pairs";
+  Rdb_obs.Metrics.observe "plan.ms" elapsed;
   ( best,
     {
       pairs_considered = !pairs;
@@ -295,6 +298,9 @@ let dp_robust ?space ?(cost_params = Cost_model.default) ~uncertainty ~catalog
       consider ~outer:p2 ~inner:p1 ~outer_costs:c2 ~inner_costs:c1 ~o_set:s2
         ~i_set:s1 ~edges:edges21);
   let elapsed = now_ms () -. start in
+  Rdb_obs.Metrics.incr "plan.built";
+  Rdb_obs.Metrics.incr ~by:!pairs "plan.dp_pairs";
+  Rdb_obs.Metrics.observe "plan.ms" elapsed;
   ( best,
     {
       pairs_considered = !pairs;

@@ -180,6 +180,203 @@ let test_reopt_composes_with_perfect () =
     outcome.Reopt.final_exec.Executor.out_rows
 
 
+(* ---- find_trigger tie-break ---- *)
+
+(* A hand-built playground where several joins of the same size trip the
+   trigger at once, so the documented tie-break (fewest relations, then
+   deepest in the tree, then post-order) is observable. Five chained
+   tables with every key equal, so every sub-join's true cardinality dwarfs
+   the hand-planted estimate of 1. *)
+
+let chain_catalog n_tables rows_per_table =
+  let schema =
+    Schema.make
+      [
+        { Schema.name = "id"; ty = Value.Ty_int };
+        { Schema.name = "k"; ty = Value.Ty_int };
+      ]
+  in
+  let cat = Catalog.create () in
+  for t = 0 to n_tables - 1 do
+    Catalog.add_table cat
+      (Table.create
+         ~name:(Printf.sprintf "t%c" (Char.chr (Char.code 'a' + t)))
+         ~schema
+         [|
+           Column.Ints (Array.init rows_per_table (fun i -> i));
+           Column.Ints (Array.make rows_per_table 1);
+         |])
+  done;
+  cat
+
+let chain_query n_rels =
+  let colref rel col = { Query.rel; col } in
+  {
+    Query.name = Printf.sprintf "chain%d" n_rels;
+    rels =
+      Array.init n_rels (fun i ->
+          let c = Char.chr (Char.code 'a' + i) in
+          { Query.alias = Printf.sprintf "%c" c;
+            table = Printf.sprintf "t%c" c });
+    preds = [];
+    edges =
+      List.init (n_rels - 1) (fun i ->
+          { Query.l = colref i 1; r = colref (i + 1) 1 });
+    select = [ Query.Count_star ];
+  }
+
+let scan rel =
+  Plan.Scan
+    { Plan.scan_rel = rel; access = Plan.Seq_scan; scan_est = 1.0; scan_cost = 1.0 }
+
+let join outer inner edges =
+  Plan.Join
+    {
+      Plan.algo = Plan.Hash_join;
+      outer;
+      inner;
+      join_est = 1.0;
+      join_cost = 1.0;
+      join_edges = edges;
+    }
+
+let test_find_trigger_tiebreak_deepest () =
+  (* plan: Join(Join(A,B), Join(Join(C,D), E)). With est=1 everywhere and
+     10 rows per table (all keys equal), every join trips a 32x trigger.
+     {A,B} and {C,D} are both 2-relation candidates; {C,D} sits deeper,
+     so the tie-break must choose it — the old first-in-post-order
+     behaviour returned {A,B}. *)
+  let cat = chain_catalog 5 10 in
+  let q = chain_query 5 in
+  let session = Session.create cat in
+  Session.analyze session;
+  let prepared = Session.prepare session q in
+  let edge i j = [ { Query.l = { Query.rel = i; col = 1 };
+                     r = { Query.rel = j; col = 1 } } ] in
+  let plan =
+    join
+      (join (scan 0) (scan 1) (edge 0 1))
+      (join (join (scan 2) (scan 3) (edge 2 3)) (scan 4) (edge 3 4))
+      (edge 1 2)
+  in
+  match Reopt.find_trigger prepared plan (Trigger.create 32.0) with
+  | None -> Alcotest.fail "expected a tripping join"
+  | Some (_, set, est, q_err) ->
+    check (Alcotest.list Alcotest.int) "deepest 2-relation join wins" [ 2; 3 ]
+      (Relset.to_list set);
+    check (Alcotest.float 1e-9) "estimate carried" 1.0 est;
+    check (Alcotest.float 1e-6) "q-error = actual/est" 100.0 q_err
+
+let test_find_trigger_tiebreak_postorder () =
+  (* equal size AND equal depth: Join(Join(A,B), Join(C,D)) — post-order
+     position breaks the tie, so {A,B} (visited first) wins. *)
+  let cat = chain_catalog 4 10 in
+  let q = chain_query 4 in
+  let session = Session.create cat in
+  Session.analyze session;
+  let prepared = Session.prepare session q in
+  let edge i j = [ { Query.l = { Query.rel = i; col = 1 };
+                     r = { Query.rel = j; col = 1 } } ] in
+  let plan =
+    join
+      (join (scan 0) (scan 1) (edge 0 1))
+      (join (scan 2) (scan 3) (edge 2 3))
+      (edge 1 2)
+  in
+  match Reopt.find_trigger prepared plan (Trigger.create 32.0) with
+  | None -> Alcotest.fail "expected a tripping join"
+  | Some (_, set, _, _) ->
+    check (Alcotest.list Alcotest.int) "post-order-first wins equal ties"
+      [ 0; 1 ] (Relset.to_list set)
+
+let test_find_trigger_smallest_first () =
+  (* the size criterion still dominates depth: a deep 3-relation join must
+     lose to a shallow 2-relation one *)
+  let cat = chain_catalog 5 10 in
+  let q = chain_query 5 in
+  let session = Session.create cat in
+  Session.analyze session;
+  let prepared = Session.prepare session q in
+  let edge i j = [ { Query.l = { Query.rel = i; col = 1 };
+                     r = { Query.rel = j; col = 1 } } ] in
+  (* Join(Join(Join(Join(A,B),C),D),E): the only 2-rel join {A,B} is also
+     the deepest — but make the point with the trigger's min_actual_rows
+     masking it: raise min_actual_rows above {A,B}'s 100 rows so the
+     smallest *tripping* join is the 3-relation {A,B,C}. *)
+  let plan =
+    join
+      (join (join (join (scan 0) (scan 1) (edge 0 1)) (scan 2) (edge 1 2))
+         (scan 3) (edge 2 3))
+      (scan 4) (edge 3 4)
+  in
+  match
+    Reopt.find_trigger prepared plan (Trigger.create ~min_actual_rows:500 32.0)
+  with
+  | None -> Alcotest.fail "expected a tripping join"
+  | Some (_, set, _, _) ->
+    check (Alcotest.list Alcotest.int) "smallest tripping join" [ 0; 1; 2 ]
+      (Relset.to_list set)
+
+(* ---- replan_ms accounting ---- *)
+
+let test_replan_ms_accounting () =
+  (* every step carries the planning time of its own re-plan (they used to
+     be backfilled with an O(n^2) List.nth_opt walk): the initial plan
+     plus the per-step replans must reconstruct total_plan_ms exactly *)
+  let catalog, session = make_session 0.05 in
+  let q = Rdb_imdb.Job_queries.find catalog "16b" in
+  let outcome =
+    Reopt.run session ~trigger:(Trigger.create 4.0) ~mode:Estimator.Default q
+  in
+  check Alcotest.bool "took steps" true (outcome.Reopt.steps <> []);
+  let replans =
+    List.fold_left (fun acc s -> acc +. s.Reopt.replan_ms) 0.0 outcome.Reopt.steps
+  in
+  check (Alcotest.float 0.001) "initial + replans = total"
+    outcome.Reopt.total_plan_ms
+    (outcome.Reopt.initial_plan_ms +. replans);
+  List.iter
+    (fun s ->
+      check Alcotest.bool "replan time recorded" true (s.Reopt.replan_ms > 0.0))
+    outcome.Reopt.steps
+
+(* ---- EXPLAIN ANALYZE ---- *)
+
+let test_explain_analyze_render () =
+  let catalog, session = make_session 0.05 in
+  let q = Rdb_imdb.Job_queries.find catalog "6d" in
+  let prepared = Session.prepare session q in
+  let plan, _, _ = Session.plan prepared ~mode:Estimator.Default in
+  let res = Session.execute prepared plan in
+  let out =
+    Rdb_core.Explain_analyze.render ~trigger:(Trigger.create 32.0) prepared
+      plan res
+  in
+  let contains needle =
+    let n = String.length needle and m = String.length out in
+    let rec go i = i + n <= m && (String.sub out i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "actual rows annotated" true (contains "actual rows=");
+  check Alcotest.bool "q-error annotated" true (contains "q-error=");
+  check Alcotest.bool "trigger join flagged" true (contains "<= re-opt trigger");
+  check Alcotest.bool "totals footer" true (contains "adaptive switches");
+  (* the flagged join is the one find_trigger selects *)
+  (match Reopt.find_trigger prepared plan (Trigger.create 32.0) with
+   | None -> Alcotest.fail "6d default estimates should trip at 32x"
+   | Some _ -> ());
+  (* adaptive execution surfaces demotions in the render *)
+  let res_a = Session.execute ~adaptive:true prepared plan in
+  if res_a.Executor.switches > 0 then begin
+    let out_a = Rdb_core.Explain_analyze.render prepared plan res_a in
+    let contains_a needle =
+      let n = String.length needle and m = String.length out_a in
+      let rec go i = i + n <= m && (String.sub out_a i n = needle || go (i + 1)) in
+      go 0
+    in
+    check Alcotest.bool "switch annotated" true (contains_a "adaptive switch:")
+  end
+
 (* ---- Feedback (LEO) ---- *)
 
 let test_feedback_signature_alias_independent () =
@@ -255,9 +452,25 @@ let () =
           Alcotest.test_case "learns and transfers" `Quick
             test_feedback_learns_and_transfers;
         ] );
+      ( "find_trigger",
+        [
+          Alcotest.test_case "deepest wins among equal sizes" `Quick
+            test_find_trigger_tiebreak_deepest;
+          Alcotest.test_case "post-order breaks exact ties" `Quick
+            test_find_trigger_tiebreak_postorder;
+          Alcotest.test_case "size dominates depth" `Quick
+            test_find_trigger_smallest_first;
+        ] );
+      ( "explain_analyze",
+        [
+          Alcotest.test_case "render annotations" `Quick
+            test_explain_analyze_render;
+        ] );
       ( "reopt",
         [
           Alcotest.test_case "preserves results" `Slow test_reopt_preserves_results;
+          Alcotest.test_case "replan time per step" `Quick
+            test_replan_ms_accounting;
           Alcotest.test_case "cleans up temp tables" `Quick test_reopt_cleanup;
           Alcotest.test_case "perfect estimates never trigger" `Quick
             test_reopt_no_trigger_no_steps;

@@ -223,6 +223,104 @@ let test_materialize () =
       check Alcotest.bool "l.id is 1" true (Value.equal row.(0) (Value.Int 1)))
     mat.Executor.mat_rows
 
+let test_deadline_checked_early () =
+  (* Regression: the wall-clock deadline used to be consulted only every
+     4M work units, so an expired deadline let cheap-but-slow plans run
+     on. The check now starts after ~1k units and backs off
+     geometrically. *)
+  let l = List.init 3_000 (fun i -> (i, 1)) in
+  let r = List.init 3_000 (fun i -> (i, 2)) in
+  let cat = db_of l r in
+  let q = join_query () in
+  (try
+     (* an already-expired deadline: scanning 3k rows crosses the initial
+        1k-unit stride, where the clock is read and the run aborts *)
+     ignore
+       (Executor.execute ~deadline_ms:0.0 ~catalog:cat ~query:q
+          (join Plan.Hash_join q));
+     Alcotest.fail "expected deadline abort"
+   with Executor.Work_budget_exceeded { spent; _ } ->
+     check Alcotest.bool "aborted long before 4M units" true (spent < 100_000));
+  (* plans cheaper than the initial stride never reach a clock check *)
+  let tiny = db_of [ (1, 1) ] [ (2, 1) ] in
+  let res =
+    Executor.execute ~deadline_ms:0.0 ~catalog:tiny ~query:q
+      (join Plan.Hash_join q)
+  in
+  check Alcotest.int "tiny plan completes" 1 res.Executor.out_rows;
+  (* and a generous deadline does not fire on the big join either *)
+  let res =
+    Executor.execute ~deadline_ms:60_000.0 ~catalog:cat ~query:q
+      (join Plan.Hash_join q)
+  in
+  check Alcotest.int "generous deadline completes" 0 res.Executor.out_rows
+
+let test_observations_complete_and_true () =
+  (* every plan node reports exactly one observation, and each actual
+     matches the brute-force oracle's count for the node's relation set *)
+  let module Naive = Rdb_exec.Naive in
+  let l = List.init 40 (fun i -> (i, i mod 7)) in
+  let r = List.init 25 (fun i -> (i, i mod 5)) in
+  let cat = db_of l r in
+  let q = join_query () in
+  let plan = join Plan.Hash_join q in
+  let res = Executor.execute ~catalog:cat ~query:q plan in
+  let rec node_sets acc = function
+    | Plan.Scan _ as node -> Plan.rel_set node :: acc
+    | Plan.Join j as node ->
+      Plan.rel_set node :: node_sets (node_sets acc j.Plan.outer) j.Plan.inner
+  in
+  let sets = node_sets [] plan in
+  check Alcotest.int "one observation per node" (List.length sets)
+    (List.length res.Executor.observations);
+  List.iter
+    (fun set ->
+      match
+        List.filter
+          (fun (o : Executor.node_obs) -> Relset.equal o.Executor.obs_set set)
+          res.Executor.observations
+      with
+      | [ o ] ->
+        check Alcotest.int
+          (Printf.sprintf "actual of {%s} matches oracle"
+             (String.concat "," (List.map string_of_int (Relset.to_list set))))
+          (Naive.count ~catalog:cat q set)
+          o.Executor.obs_actual
+      | obs ->
+        Alcotest.failf "expected exactly one observation, got %d"
+          (List.length obs))
+    sets;
+  match Naive.agrees ~catalog:cat q res with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_adaptive_switch_observed () =
+  (* outer blows through its estimate 8x -> nested loop demoted to hash
+     join; the demotion increments [switches] and the observation carries
+     the executed operator's name *)
+  let l = List.init 100 (fun i -> (i, i mod 3)) in
+  let r = List.init 100 (fun i -> (i, i mod 3)) in
+  let cat = db_of l r in
+  let q = join_query () in
+  let plan = join Plan.Nested_loop q in
+  (* the hand-built scans estimate 1.0 rows; the outer actually has 100 *)
+  let adaptive = Executor.execute ~adaptive:true ~catalog:cat ~query:q plan in
+  check Alcotest.int "one switch" 1 adaptive.Executor.switches;
+  let join_label res =
+    (List.find
+       (fun (o : Executor.node_obs) -> Relset.cardinal o.Executor.obs_set = 2)
+       res.Executor.observations)
+      .Executor.obs_label
+  in
+  check Alcotest.string "demoted operator observed" "Hash Join"
+    (join_label adaptive);
+  let static = Executor.execute ~catalog:cat ~query:q plan in
+  check Alcotest.int "no switch without --adaptive" 0 static.Executor.switches;
+  check Alcotest.string "planned operator observed" "Nested Loop"
+    (join_label static);
+  check Alcotest.int "same result either way" adaptive.Executor.out_rows
+    static.Executor.out_rows
+
 (* Multi-edge join (composite key) correctness. *)
 let test_multi_edge_join () =
   let schema =
@@ -292,7 +390,13 @@ let () =
       ( "instrumentation",
         [
           Alcotest.test_case "observations" `Quick test_observations;
+          Alcotest.test_case "observations complete + oracle-true" `Quick
+            test_observations_complete_and_true;
+          Alcotest.test_case "adaptive switch observed" `Quick
+            test_adaptive_switch_observed;
           Alcotest.test_case "work budget" `Quick test_work_budget;
+          Alcotest.test_case "deadline checked early" `Quick
+            test_deadline_checked_early;
           Alcotest.test_case "work deterministic" `Quick test_work_deterministic;
           Alcotest.test_case "materialize" `Quick test_materialize;
         ] );

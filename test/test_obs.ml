@@ -1,0 +1,196 @@
+module Json = Rdb_obs.Json
+module Metrics = Rdb_obs.Metrics
+module Trace = Rdb_obs.Trace
+
+let check = Alcotest.check
+
+(* ---- Json ---- *)
+
+let test_json_render () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\nd");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Int 2 ]);
+        ("o", Json.Obj []);
+      ]
+  in
+  check Alcotest.string "rendering"
+    {|{"s":"a\"b\\c\nd","i":-42,"f":1.5,"b":true,"n":null,"l":[1,2],"o":{}}|}
+    (Json.to_string doc);
+  (* NaN / infinities have no JSON literal *)
+  check Alcotest.string "nan" "null" (Json.to_string (Json.Float nan));
+  check Alcotest.string "inf" "null" (Json.to_string (Json.Float infinity))
+
+let test_json_roundtrip () =
+  let docs =
+    [
+      Json.Null;
+      Json.Bool false;
+      Json.Int 0;
+      Json.Int max_int;
+      Json.Float (-0.125);
+      Json.Str "";
+      Json.Str "tab\there \x01 unicode-escapes";
+      Json.List [ Json.Obj [ ("k", Json.List []) ]; Json.Null ];
+      Json.Obj [ ("a", Json.Int 1); ("a", Json.Int 2) ];
+    ]
+  in
+  List.iter
+    (fun doc ->
+      let s = Json.to_string doc in
+      match Json.parse_opt s with
+      | None -> Alcotest.failf "did not parse back: %s" s
+      | Some doc' ->
+        check Alcotest.string "round-trip" s (Json.to_string doc'))
+    docs
+
+let test_json_rejects () =
+  List.iter
+    (fun s ->
+      check Alcotest.bool (Printf.sprintf "rejects %S" s) false
+        (Json.is_valid s))
+    [
+      ""; "{"; "}"; "[1,]"; "{\"a\":}"; "{\"a\" 1}"; "tru"; "nul"; "01";
+      "1 2"; "\"unterminated"; "{\"a\":1}{"; "[1,2"; "'single'"; "+1";
+      "\"bad\\escape\\q\"";
+    ];
+  List.iter
+    (fun s ->
+      check Alcotest.bool (Printf.sprintf "accepts %S" s) true
+        (Json.is_valid s))
+    [ " null "; "[]"; "{}"; "-1.5e3"; "[{\"a\":[1,2,3]}]"; "\"\\u0041\"" ]
+
+(* ---- Metrics ---- *)
+
+let test_metrics_counters () =
+  Metrics.reset ();
+  Metrics.incr "t.hits";
+  Metrics.incr ~by:41 "t.hits";
+  Metrics.incr "t.other";
+  let snap = Metrics.snapshot () in
+  check Alcotest.int "sum" 42 (Metrics.counter snap "t.hits");
+  check Alcotest.int "other" 1 (Metrics.counter snap "t.other");
+  check Alcotest.int "absent is 0" 0 (Metrics.counter snap "t.nope")
+
+let test_metrics_domains () =
+  (* updates from several domains land in per-domain shards and merge *)
+  Metrics.reset ();
+  Metrics.incr ~by:10 "t.multi";
+  let workers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 100 do
+              Metrics.incr "t.multi";
+              Metrics.observe "t.dist" 2.0
+            done))
+  in
+  List.iter Domain.join workers;
+  Metrics.observe "t.dist" 7.0;
+  let snap = Metrics.snapshot () in
+  check Alcotest.int "merged counter" 410 (Metrics.counter snap "t.multi");
+  match List.assoc_opt "t.dist" snap.Metrics.stats with
+  | None -> Alcotest.fail "missing stat"
+  | Some st ->
+    check Alcotest.int "stat count" 401 st.Metrics.count;
+    check (Alcotest.float 1e-9) "stat sum" 807.0 st.Metrics.sum;
+    check (Alcotest.float 1e-9) "stat min" 2.0 st.Metrics.min;
+    check (Alcotest.float 1e-9) "stat max" 7.0 st.Metrics.max
+
+let test_metrics_diff () =
+  Metrics.reset ();
+  Metrics.incr ~by:3 "t.a";
+  Metrics.incr ~by:5 "t.b";
+  let before = Metrics.snapshot () in
+  Metrics.incr ~by:4 "t.a";
+  Metrics.incr "t.c";
+  let after = Metrics.snapshot () in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "deltas, zero deltas omitted"
+    [ ("t.a", 4); ("t.c", 1) ]
+    (Metrics.diff_counters ~after ~before);
+  (* the snapshot renders as valid JSON *)
+  check Alcotest.bool "snapshot json valid" true
+    (Json.is_valid (Json.to_string (Metrics.to_json after)))
+
+(* ---- Trace ---- *)
+
+let test_trace_jsonl () =
+  let path = Filename.temp_file "rdb_trace" ".jsonl" in
+  Trace.set_sink (Trace.Jsonl (open_out path));
+  check Alcotest.bool "enabled" true (Trace.enabled ());
+  let v =
+    Trace.span "outer" ~attrs:[ ("q", "6d") ] (fun () ->
+        Trace.span "inner" (fun () -> ());
+        Trace.event "point" ~attrs:[ ("k", "v\"quoted") ];
+        17)
+  in
+  check Alcotest.int "span returns f's value" 17 v;
+  (* a raising span still records, and re-raises *)
+  (try Trace.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Trace.set_sink Trace.Null;
+  (* closes the channel *)
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  check Alcotest.int "four records" 4 (List.length lines);
+  List.iter
+    (fun line ->
+      check Alcotest.bool "line is one valid JSON object" true
+        (Json.is_valid line))
+    lines;
+  (* nesting depth: inner and the event sit one level below outer *)
+  let depth_of line =
+    match Json.parse_opt line with
+    | Some (Json.Obj fields) ->
+      (match List.assoc "depth" fields with
+       | Json.Int d -> d
+       | _ -> Alcotest.fail "depth not an int")
+    | _ -> Alcotest.fail "unparsable line"
+  in
+  (* Jsonl records spans at close, so "inner" and "point" precede "outer" *)
+  (match lines with
+   | [ inner; point; outer; boom ] ->
+     check Alcotest.int "inner depth" 1 (depth_of inner);
+     check Alcotest.int "event depth" 1 (depth_of point);
+     check Alcotest.int "outer depth" 0 (depth_of outer);
+     check Alcotest.int "depth restored after raise" 0 (depth_of boom)
+   | _ -> Alcotest.fail "unexpected record count");
+  Sys.remove path
+
+let test_trace_null_passthrough () =
+  Trace.set_sink Trace.Null;
+  check Alcotest.bool "disabled" false (Trace.enabled ());
+  check Alcotest.int "span is f ()" 5 (Trace.span "noop" (fun () -> 5))
+
+let () =
+  Alcotest.run "rdb_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "render" `Quick test_json_render;
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "strict parser" `Quick test_json_rejects;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "multi-domain merge" `Quick test_metrics_domains;
+          Alcotest.test_case "diff + json" `Quick test_metrics_diff;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "jsonl sink" `Quick test_trace_jsonl;
+          Alcotest.test_case "null sink" `Quick test_trace_null_passthrough;
+        ] );
+    ]
