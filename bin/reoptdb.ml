@@ -8,6 +8,8 @@
      reoptdb run 6d [--reopt 32]        execute, optionally with re-optimization
      reoptdb experiment fig2 [...]      regenerate a table/figure of the paper
      reoptdb lint [--scale 0.1]         lint every workload query and plan
+     reoptdb verify [--scale 0.1]       prove every re-opt rewrite equivalent
+                                        and every plan within sound bounds
 
    Set RDB_TRACE=stderr (or =path for JSON-lines) to trace every pipeline
    phase as nested timed spans. *)
@@ -97,6 +99,12 @@ let cmd_sql =
 
 (* ---- explain ---- *)
 
+let pessimistic_arg =
+  Arg.(value & flag & info [ "pessimistic" ]
+         ~doc:"Clamp every cardinality estimate to the symbolic verifier's \
+               sound [lo, hi] interval before costing. Changes plan choice \
+               only, never query results.")
+
 let cmd_explain =
   let analyze_arg =
     Arg.(value & flag & info [ "analyze" ]
@@ -113,7 +121,7 @@ let cmd_explain =
     Arg.(value & opt float 32.0 & info [ "reopt" ] ~docv:"THRESHOLD"
            ~doc:"With --analyze: Q-error threshold of the trigger marker.")
   in
-  let run name scale seed mode_str analyze adaptive threshold =
+  let run name scale seed mode_str analyze adaptive threshold pessimistic =
     match parse_mode mode_str with
     | Error e -> prerr_endline e; 1
     | Ok mode ->
@@ -121,7 +129,7 @@ let cmd_explain =
       let q = Rdb_imdb.Job_queries.find catalog name in
       let prepared = Session.prepare session q in
       let mode = resolve_mode prepared mode in
-      let plan, pstats, _ = Session.plan prepared ~mode in
+      let plan, pstats, _ = Session.plan ~pessimistic prepared ~mode in
       Printf.printf "planning: %d csg-cmp pairs, %.2fms\n\n"
         pstats.Rdb_plan.Optimizer.pairs_considered
         pstats.Rdb_plan.Optimizer.plan_ms;
@@ -151,7 +159,7 @@ let cmd_explain =
           --analyze, execute it and print EXPLAIN ANALYZE (actual rows, \
           Q-error, work, adaptive switches, re-opt trigger).")
     Term.(const run $ query_pos $ scale_arg $ seed_arg $ mode_arg
-          $ analyze_arg $ adaptive_arg $ trigger_arg)
+          $ analyze_arg $ adaptive_arg $ trigger_arg $ pessimistic_arg)
 
 (* ---- run ---- *)
 
@@ -160,7 +168,7 @@ let reopt_arg =
          ~doc:"Enable re-optimization at the given Q-error threshold.")
 
 let cmd_run =
-  let run name scale seed mode_str reopt =
+  let run name scale seed mode_str reopt pessimistic =
     match parse_mode mode_str with
     | Error e -> prerr_endline e; 1
     | Ok mode ->
@@ -170,7 +178,7 @@ let cmd_run =
       let mode = resolve_mode prepared mode in
       (match reopt with
        | None ->
-         let plan, pstats, _ = Session.plan prepared ~mode in
+         let plan, pstats, _ = Session.plan ~pessimistic prepared ~mode in
          let res = Session.execute prepared plan in
          Printf.printf
            "plan %.2fms | exec %.2fms | %d rows into aggregates | work %d\n"
@@ -198,7 +206,8 @@ let cmd_run =
       0
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a query, optionally with re-optimization.")
-    Term.(const run $ query_pos $ scale_arg $ seed_arg $ mode_arg $ reopt_arg)
+    Term.(const run $ query_pos $ scale_arg $ seed_arg $ mode_arg $ reopt_arg
+          $ pessimistic_arg)
 
 (* ---- experiment ---- *)
 
@@ -304,11 +313,16 @@ let cmd_lint =
              | Estimator.Perfect n ->
                Oracle.ensure_up_to (Session.oracle prepared) n
              | _ -> ());
-            let plan, _, est = Session.plan prepared ~mode in
-            incr n_plans;
-            report
-              (Printf.sprintf "%s [%s]" name label)
-              (Plan_lint.check ~catalog ~estimator:est q plan))
+            match Session.plan prepared ~mode with
+            | plan, _, est ->
+              incr n_plans;
+              report
+                (Printf.sprintf "%s [%s]" name label)
+                (Plan_lint.check ~catalog ~estimator:est q plan)
+            (* With RDB_LINT=1 in the environment the in-loop hook raises
+               before we can report; keep sweeping the other configs. *)
+            | exception Rdb_analysis.Debug.Lint_failed findings ->
+              report (Printf.sprintf "%s [%s]" name label) findings)
           [ ("default", Estimator.Default);
             (Printf.sprintf "perfect-%d" perfect_n,
              Estimator.Perfect perfect_n) ];
@@ -359,6 +373,132 @@ let cmd_lint =
           on error-severity findings.")
     Term.(const run $ lint_scale_arg $ seed_arg $ threshold_arg $ perfect_arg)
 
+(* ---- verify ---- *)
+
+let cmd_verify =
+  let module Finding = Rdb_analysis.Finding in
+  let module Card_bound = Rdb_verify.Card_bound in
+  let module Equiv = Rdb_verify.Equiv in
+  let verify_scale_arg =
+    Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"FACTOR"
+           ~doc:"Database scale factor. Like lint, the verify sweep \
+                 executes every re-optimization materialization, so it \
+                 defaults to a smaller database.")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 32.0 & info [ "reopt" ] ~docv:"THRESHOLD"
+           ~doc:"Q-error threshold of the re-optimization sweep.")
+  in
+  let perfect_arg =
+    Arg.(value & opt int 4 & info [ "perfect" ] ~docv:"N"
+           ~doc:"The perfect-(N) estimator configuration to sweep.")
+  in
+  let run scale seed threshold perfect_n =
+    let catalog, session = make_session ~scale ~seed in
+    let stats = Session.stats session in
+    let queries = Rdb_imdb.Job_queries.all catalog in
+    let n_errors = ref 0 and n_warnings = ref 0 in
+    let n_plans = ref 0 and n_proved = ref 0 and n_capped = ref 0 in
+    let report ctx findings =
+      List.iter
+        (fun (f : Finding.t) ->
+          (match f.Finding.severity with
+           | Finding.Error -> incr n_errors
+           | Finding.Warning -> incr n_warnings
+           | Finding.Info -> ());
+          if f.Finding.severity <> Finding.Info then
+            Printf.printf "%s: %s\n" ctx (Finding.to_string f))
+        findings;
+      n_proved := !n_proved
+        + List.length (Finding.by_code "rewrite-proved" findings)
+    in
+    (* The generated data must actually satisfy the schema's declared
+       keys/FKs — they are what make the bounds sound. Checked once. *)
+    report "constraints" (Card_bound.check_constraints catalog);
+    List.iter
+      (fun (q : Rdb_query.Query.t) ->
+        let name = q.Rdb_query.Query.name in
+        let prepared = Session.prepare session q in
+        let bounds = Card_bound.create ~catalog ~stats q in
+        (* Bound-check the chosen plan of each estimator configuration;
+           the bounds depend only on data + constraints, so one context
+           serves all three. *)
+        List.iter
+          (fun (label, mode, pessimistic) ->
+            (match mode with
+             | Estimator.Perfect n ->
+               Oracle.ensure_up_to (Session.oracle prepared) n
+             | _ -> ());
+            let plan, _, _ = Session.plan ~pessimistic prepared ~mode in
+            incr n_plans;
+            report
+              (Printf.sprintf "%s [%s]" name label)
+              (Card_bound.check_plan bounds plan))
+          [ ("default", Estimator.Default, false);
+            (Printf.sprintf "perfect-%d" perfect_n,
+             Estimator.Perfect perfect_n, false);
+            ("pessimistic", Estimator.Default, true) ];
+        (* Re-optimization sweep: prove every rewrite step equivalent to
+           its pre-step query, and bound-check the final plan against the
+           final query (temp tables still in the catalog). *)
+        (match
+           Reopt.run ~work_budget:60_000_000 ~deadline_ms:4000.0
+             ~cleanup:false ~initial:prepared session
+             ~trigger:(Trigger.create threshold) ~mode:Estimator.Default q
+         with
+         | outcome ->
+           let q_prev = ref q in
+           List.iter
+             (fun (s : Reopt.step) ->
+               let temp_cols =
+                 Reopt.needed_cols !q_prev s.Reopt.materialized_set
+               in
+               report
+                 (Printf.sprintf "%s [reopt step %s]" name s.Reopt.temp_name)
+                 (Equiv.check_step ~catalog ~original:!q_prev
+                    ~set:s.Reopt.materialized_set ~temp_cols
+                    ~temp_name:s.Reopt.temp_name s.Reopt.query_after);
+               q_prev := s.Reopt.query_after)
+             outcome.Reopt.steps;
+           (if outcome.Reopt.steps <> [] then begin
+              let fbounds =
+                Card_bound.create ~catalog ~stats outcome.Reopt.final_query
+              in
+              incr n_plans;
+              report
+                (Printf.sprintf "%s [reopt final]" name)
+                (Card_bound.check_plan fbounds outcome.Reopt.final_plan)
+            end);
+           List.iter
+             (fun (s : Reopt.step) ->
+               Catalog.drop_table catalog s.Reopt.temp_name;
+               Rdb_stats.Db_stats.drop stats ~table:s.Reopt.temp_name)
+             outcome.Reopt.steps
+         | exception Executor.Work_budget_exceeded _ -> incr n_capped
+         | exception Rdb_verify.Debug.Verify_failed findings ->
+           report (Printf.sprintf "%s [reopt]" name) findings
+         | exception Rdb_analysis.Debug.Lint_failed findings ->
+           report (Printf.sprintf "%s [reopt]" name) findings))
+      queries;
+    Printf.printf
+      "verify: %d queries, %d plans bound-checked, %d rewrite steps proved \
+       equivalent (%d runaway cells capped); %d errors, %d warnings\n"
+      (List.length queries) !n_plans !n_proved !n_capped !n_errors
+      !n_warnings;
+    if !n_errors > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Sweep the whole workload through the symbolic plan verifier: \
+          validate the declared key/FK constraints against the data, check \
+          every chosen plan's estimates against sound cardinality bounds \
+          (default, perfect-(n) and pessimistic configurations), and prove \
+          every re-optimization rewrite step equivalent to its pre-step \
+          query. Exits non-zero on error-severity findings.")
+    Term.(const run $ verify_scale_arg $ seed_arg $ threshold_arg
+          $ perfect_arg)
+
 let () =
   let info =
     Cmd.info "reoptdb"
@@ -371,4 +511,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ cmd_queries; cmd_sql; cmd_explain; cmd_run; cmd_experiment;
-            cmd_lint ]))
+            cmd_lint; cmd_verify ]))

@@ -18,6 +18,9 @@ type t = {
   stats : Db_stats.t;
   oracle : Oracle.t option;
   log : Estimate_log.t option;
+  bound : (Relset.t -> float -> float) option;
+      (* sound-interval clamp (the verifier's "pessimistic" mode): applied
+         to every memoized estimate before the 1-row floor *)
   memo : (Relset.t, float) Hashtbl.t;
   implied : (Query.colref, Value.t) Hashtbl.t;
       (* equality constants propagated through join equivalence classes,
@@ -67,7 +70,7 @@ let compute_implied (q : Query.t) =
     members;
   implied
 
-let create ?log ~mode ~catalog ~stats ?oracle q =
+let create ?log ?bound ~mode ~catalog ~stats ?oracle q =
   (match mode, oracle with
    | (Perfect _ | Perfect_all), None ->
      invalid_arg "Estimator.create: perfect modes require an oracle"
@@ -80,11 +83,13 @@ let create ?log ~mode ~catalog ~stats ?oracle q =
     stats;
     oracle;
     log;
+    bound;
     memo = Hashtbl.create 64;
     implied = compute_implied q;
   }
 
 let mode t = t.mode
+let db_stats t = t.stats
 
 let col_stats t rel col =
   let table = Catalog.table_exn t.catalog t.q.Query.rels.(rel).Query.table in
@@ -164,6 +169,7 @@ let rec card t s =
   | Some v -> v
   | None ->
     let v = compute t s in
+    let v = match t.bound with Some f -> f s v | None -> v in
     let v = Float.max 1.0 v in
     Hashtbl.replace t.memo s v;
     (match t.log with

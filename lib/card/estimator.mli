@@ -31,6 +31,7 @@ type t
 
 val create :
   ?log:Estimate_log.t ->
+  ?bound:(Relset.t -> float -> float) ->
   mode:mode ->
   catalog:Catalog.t ->
   stats:Db_stats.t ->
@@ -38,9 +39,14 @@ val create :
   Query.t ->
   t
 (** [oracle] is required by [Perfect _] and [Perfect_all]; raises
-    [Invalid_argument] when missing. *)
+    [Invalid_argument] when missing. [bound], when given, is applied to
+    every memoized estimate (subset, raw estimate) before the 1-row floor —
+    the verifier's pessimistic clamp to its sound interval. *)
 
 val mode : t -> mode
+
+val db_stats : t -> Db_stats.t
+(** The statistics snapshot the estimator was built over. *)
 
 val card : t -> Relset.t -> float
 (** Estimated cardinality of a connected relation subset; always >= 1. *)

@@ -200,10 +200,13 @@ let temp_schema session (q : Query.t) temp_cols =
          { Schema.name = Printf.sprintf "c%d" i; ty = src.Schema.ty })
        temp_cols)
 
-let run ?lint ?work_budget ?deadline_ms ?(cleanup = true) ?(max_steps = 32)
-    ?initial session ~trigger ~mode q0 =
+let run ?lint ?verify ?work_budget ?deadline_ms ?(cleanup = true)
+    ?(max_steps = 32) ?initial session ~trigger ~mode q0 =
   let lint =
     match lint with Some b -> b | None -> Rdb_analysis.Debug.enabled ()
+  in
+  let verify =
+    match verify with Some b -> b | None -> Rdb_verify.Debug.enabled ()
   in
   let temp_names = ref [] in
   let rec loop q steps plan_times step_count =
@@ -262,6 +265,12 @@ let run ?lint ?work_budget ?deadline_ms ?(cleanup = true) ?(max_steps = 32)
       if lint then
         Rdb_analysis.Debug.check_query_exn
           ~catalog:(Session.catalog session) q';
+      (* Symbolic proof that the rewrite preserved the query: inline the
+         temp table back and require isomorphism between the conjunctive
+         normal forms (bag equivalence — these are COUNT/SUM queries). *)
+      if verify then
+        Rdb_verify.Debug.check_step_exn ~catalog:(Session.catalog session)
+          ~original:q ~set ~temp_cols ~temp_name q';
       let step =
         {
           materialized_set = set;

@@ -45,6 +45,7 @@ type outcome = {
 
 val run :
   ?lint:bool ->
+  ?verify:bool ->
   ?work_budget:int ->
   ?deadline_ms:float ->
   ?cleanup:bool ->
@@ -61,7 +62,12 @@ val run :
     catalog afterwards. [max_steps] (default 32) bounds the loop.
     [lint] (default: the [RDB_LINT=1] environment check) lints every plan
     and every rewritten query (with its temp table substituted); error
-    findings raise [Rdb_analysis.Debug.Lint_failed]. *)
+    findings raise [Rdb_analysis.Debug.Lint_failed].
+    [verify] (default: [RDB_VERIFY=1]) additionally proves each rewrite
+    step equivalent to its pre-step query — the temp table inlined back,
+    both conjunctive normal forms isomorphic — and checks every plan's
+    estimates against sound cardinality bounds; error findings raise
+    [Rdb_verify.Debug.Verify_failed]. *)
 
 val find_trigger :
   Session.prepared ->

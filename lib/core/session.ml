@@ -19,10 +19,11 @@ type t = {
 }
 
 let create ?(cost_params = Rdb_cost.Cost_model.default) catalog =
-  (* Make RDB_LINT=1 effective for every session-driven pipeline: the
-     optimizer's lint hook is a ref precisely so the plan layer need not
-     depend on the analysis library that checks it. *)
+  (* Make RDB_LINT=1 / RDB_VERIFY=1 effective for every session-driven
+     pipeline: the optimizer's hooks are refs precisely so the plan layer
+     need not depend on the libraries that check it. *)
   Rdb_analysis.Debug.install ();
+  Rdb_verify.Debug.install ();
   { catalog; stats = Db_stats.create (); cost_params; temp_counter = 0 }
 
 let with_stats_of parent =
@@ -75,30 +76,49 @@ let oracle p = p.oracle
 let space p = p.space
 let session p = p.session
 
-let plan ?lint ?log p ~mode =
+(* Pessimistic mode: clamp every memoized estimate to the verifier's sound
+   [lo, hi] interval before it reaches the cost model. *)
+let bound_of p ~pessimistic =
+  if not pessimistic then None
+  else begin
+    let ctx =
+      Rdb_verify.Card_bound.create ~catalog:p.session.catalog
+        ~stats:p.session.stats p.q
+    in
+    Some
+      (fun s v ->
+        let v' = Rdb_verify.Card_bound.clamp ctx s v in
+        if v' <> v then Rdb_obs.Metrics.incr "verify.clamped";
+        v')
+  end
+
+let plan ?lint ?verify ?(pessimistic = false) ?log p ~mode =
   Trace.span "session.plan"
     ~attrs:[ ("query", p.q.Query.name) ]
     (fun () ->
       let estimator =
-        Estimator.create ?log ~mode ~catalog:p.session.catalog
-          ~stats:p.session.stats ~oracle:p.oracle p.q
+        Estimator.create ?log ?bound:(bound_of p ~pessimistic) ~mode
+          ~catalog:p.session.catalog ~stats:p.session.stats ~oracle:p.oracle
+          p.q
       in
       let plan, stats =
-        Optimizer.plan ?lint ~space:p.space ~cost_params:p.session.cost_params
-          ~catalog:p.session.catalog ~estimator p.q
+        Optimizer.plan ?lint ?verify ~space:p.space
+          ~cost_params:p.session.cost_params ~catalog:p.session.catalog
+          ~estimator p.q
       in
       (plan, stats, estimator))
 
-let plan_robust ?lint ?log ~uncertainty p ~mode =
+let plan_robust ?lint ?verify ?(pessimistic = false) ?log ~uncertainty p ~mode =
   Trace.span "session.plan_robust"
     ~attrs:[ ("query", p.q.Query.name) ]
     (fun () ->
       let estimator =
-        Estimator.create ?log ~mode ~catalog:p.session.catalog
-          ~stats:p.session.stats ~oracle:p.oracle p.q
+        Estimator.create ?log ?bound:(bound_of p ~pessimistic) ~mode
+          ~catalog:p.session.catalog ~stats:p.session.stats ~oracle:p.oracle
+          p.q
       in
       let plan, stats =
-        Optimizer.plan_robust ?lint ~space:p.space
+        Optimizer.plan_robust ?lint ?verify ~space:p.space
           ~cost_params:p.session.cost_params ~uncertainty
           ~catalog:p.session.catalog ~estimator p.q
       in

@@ -53,6 +53,8 @@ val session : prepared -> t
 
 val plan :
   ?lint:bool ->
+  ?verify:bool ->
+  ?pessimistic:bool ->
   ?log:Estimate_log.t ->
   prepared ->
   mode:Estimator.mode ->
@@ -60,10 +62,17 @@ val plan :
 (** Optimize under the given estimation mode. [lint] (default: the
     [RDB_LINT=1] environment check) runs the installed invariant checker on
     the chosen plan; error findings raise
-    [Rdb_analysis.Debug.Lint_failed]. *)
+    [Rdb_analysis.Debug.Lint_failed]. [verify] (default: [RDB_VERIFY=1])
+    likewise checks the plan's estimates against the symbolic verifier's
+    sound cardinality bounds and raises [Rdb_verify.Debug.Verify_failed].
+    [pessimistic] (default false) clamps every estimate to the verifier's
+    sound interval before costing — changing only plan choice, never
+    results. *)
 
 val plan_robust :
   ?lint:bool ->
+  ?verify:bool ->
+  ?pessimistic:bool ->
   ?log:Estimate_log.t ->
   uncertainty:float ->
   prepared ->

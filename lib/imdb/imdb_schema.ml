@@ -1,29 +1,65 @@
 let int name = { Schema.name; ty = Value.Ty_int }
 let str name = { Schema.name; ty = Value.Ty_str }
 
+(* Integrity constraints mirror the real IMDB schema and are honored by
+   Imdb_gen: every [id] is a sequential primary key, every foreign key
+   except cast_info.person_role_id is generated NOT NULL and referentially
+   intact. The verifier's cardinality bounds rely on these declarations;
+   test_verify re-validates them against generated data. *)
+let dim cols = Schema.make ~unique:[ "id" ] ~not_null:[ "id" ] cols
+
+let fact ~fks cols =
+  let fk_cols = List.map (fun (c, _, _) -> c) fks in
+  Schema.make ~unique:[ "id" ] ~not_null:("id" :: fk_cols) ~fks cols
+
 let tables =
   [
-    ("kind_type", Schema.make [ int "id"; str "kind" ]);
-    ("info_type", Schema.make [ int "id"; str "info" ]);
-    ("company_type", Schema.make [ int "id"; str "kind" ]);
-    ("role_type", Schema.make [ int "id"; str "role" ]);
-    ("keyword", Schema.make [ int "id"; str "keyword" ]);
-    ("company_name", Schema.make [ int "id"; str "name"; str "country_code" ]);
-    ("name", Schema.make [ int "id"; str "name"; str "gender" ]);
-    ("char_name", Schema.make [ int "id"; str "name" ]);
-    ("aka_name", Schema.make [ int "id"; int "person_id"; str "name" ]);
+    ("kind_type", dim [ int "id"; str "kind" ]);
+    ("info_type", dim [ int "id"; str "info" ]);
+    ("company_type", dim [ int "id"; str "kind" ]);
+    ("role_type", dim [ int "id"; str "role" ]);
+    ("keyword", dim [ int "id"; str "keyword" ]);
+    ("company_name", dim [ int "id"; str "name"; str "country_code" ]);
+    ("name", dim [ int "id"; str "name"; str "gender" ]);
+    ("char_name", dim [ int "id"; str "name" ]);
+    ( "aka_name",
+      fact
+        ~fks:[ ("person_id", "name", "id") ]
+        [ int "id"; int "person_id"; str "name" ] );
     ( "title",
-      Schema.make [ int "id"; str "title"; int "kind_id"; int "production_year" ] );
-    ("movie_keyword", Schema.make [ int "id"; int "movie_id"; int "keyword_id" ]);
+      fact
+        ~fks:[ ("kind_id", "kind_type", "id") ]
+        [ int "id"; str "title"; int "kind_id"; int "production_year" ] );
+    ( "movie_keyword",
+      fact
+        ~fks:[ ("movie_id", "title", "id"); ("keyword_id", "keyword", "id") ]
+        [ int "id"; int "movie_id"; int "keyword_id" ] );
     ( "movie_companies",
-      Schema.make [ int "id"; int "movie_id"; int "company_id"; int "company_type_id" ] );
+      fact
+        ~fks:
+          [ ("movie_id", "title", "id");
+            ("company_id", "company_name", "id");
+            ("company_type_id", "company_type", "id") ]
+        [ int "id"; int "movie_id"; int "company_id"; int "company_type_id" ] );
     ( "cast_info",
+      (* person_role_id is the one nullable foreign key (~12% NULL). *)
       Schema.make
+        ~unique:[ "id" ]
+        ~not_null:[ "id"; "person_id"; "movie_id"; "role_id" ]
+        ~fks:
+          [ ("person_id", "name", "id");
+            ("movie_id", "title", "id");
+            ("person_role_id", "char_name", "id");
+            ("role_id", "role_type", "id") ]
         [ int "id"; int "person_id"; int "movie_id"; int "person_role_id"; int "role_id" ] );
     ( "movie_info",
-      Schema.make [ int "id"; int "movie_id"; int "info_type_id"; str "info" ] );
+      fact
+        ~fks:[ ("movie_id", "title", "id"); ("info_type_id", "info_type", "id") ]
+        [ int "id"; int "movie_id"; int "info_type_id"; str "info" ] );
     ( "movie_info_idx",
-      Schema.make [ int "id"; int "movie_id"; int "info_type_id"; str "info" ] );
+      fact
+        ~fks:[ ("movie_id", "title", "id"); ("info_type_id", "info_type", "id") ]
+        [ int "id"; int "movie_id"; int "info_type_id"; str "info" ] );
   ]
 
 let schema name =

@@ -31,6 +31,21 @@ let run_lint_hook ~lint ~catalog ~estimator q plan =
     | Some hook -> hook ~catalog ~estimator q plan
     | None -> ()
 
+let verify_hook : lint_hook option ref = ref None
+
+let verify_enabled ?verify () =
+  match verify with
+  | Some b -> b
+  | None -> (match Sys.getenv_opt "RDB_VERIFY" with
+             | Some ("1" | "true") -> true
+             | Some _ | None -> false)
+
+let run_verify_hook ~verify ~catalog ~estimator q plan =
+  if verify_enabled ?verify () then
+    match !verify_hook with
+    | Some hook -> hook ~catalog ~estimator q plan
+    | None -> ()
+
 (* Cartesian products are unsupported (as in the paper's workload); a
    disconnected join graph is a query bug, so name the components to make
    the report actionable. *)
@@ -192,11 +207,12 @@ let dp ?space ?(cost_params = Cost_model.default) ~catalog ~estimator (q : Query
       plan_ms = elapsed;
     } )
 
-let plan ?lint ?space ?cost_params ~catalog ~estimator q =
+let plan ?lint ?verify ?space ?cost_params ~catalog ~estimator q =
   let best, stats = dp ?space ?cost_params ~catalog ~estimator q in
   match Hashtbl.find_opt best (Relset.full (Query.n_rels q)) with
   | Some p ->
     run_lint_hook ~lint ~catalog ~estimator q p;
+    run_verify_hook ~verify ~catalog ~estimator q p;
     (p, stats)
   | None -> invalid_arg "Optimizer: no plan found for full relation set"
 
@@ -308,13 +324,15 @@ let dp_robust ?space ?(cost_params = Cost_model.default) ~uncertainty ~catalog
       plan_ms = elapsed;
     } )
 
-let plan_robust ?lint ?space ?cost_params ~uncertainty ~catalog ~estimator q =
+let plan_robust ?lint ?verify ?space ?cost_params ~uncertainty ~catalog
+    ~estimator q =
   let best, stats =
     dp_robust ?space ?cost_params ~uncertainty ~catalog ~estimator q
   in
   match Hashtbl.find_opt best (Relset.full (Query.n_rels q)) with
   | Some (p, _) ->
     run_lint_hook ~lint ~catalog ~estimator q p;
+    run_verify_hook ~verify ~catalog ~estimator q p;
     (p, stats)
   | None -> invalid_arg "Optimizer: no robust plan found"
 

@@ -25,8 +25,15 @@ val lint_hook : lint_hook option ref
     call so the plan layer does not depend on the analysis library that
     checks it. The hook is expected to raise on error-severity findings. *)
 
+val verify_hook : lint_hook option ref
+(** Like {!lint_hook}, but for the symbolic plan verifier: checks the
+    chosen plan's estimates against sound cardinality bounds. Enabled by
+    the [?verify] argument or [RDB_VERIFY=1]; installed by
+    [Rdb_verify.Debug.install]. Runs after {!lint_hook}. *)
+
 val plan :
   ?lint:bool ->
+  ?verify:bool ->
   ?space:Search_space.t ->
   ?cost_params:Rdb_cost.Cost_model.params ->
   catalog:Catalog.t ->
@@ -39,10 +46,12 @@ val plan :
     disconnected (cartesian products are not supported, as in the paper's
     workload); the message names the disconnected components by alias.
     [lint] (default: [RDB_LINT=1] in the environment) runs the installed
-    {!lint_hook} on the chosen plan before returning it. *)
+    {!lint_hook} on the chosen plan before returning it; [verify]
+    (default: [RDB_VERIFY=1]) likewise runs the installed {!verify_hook}. *)
 
 val plan_robust :
   ?lint:bool ->
+  ?verify:bool ->
   ?space:Search_space.t ->
   ?cost_params:Rdb_cost.Cost_model.params ->
   uncertainty:float ->

@@ -1,0 +1,69 @@
+(** Conjunctive-query normal form for the engine's select-project-join
+    fragment.
+
+    Every (relation occurrence, column) position is a variable; equi-join
+    edges merge variables via transitive closure, per-variable predicate
+    sets are subsumption-reduced, and a WL-style color refinement assigns a
+    canonical variable numbering and atom order. Aliases never enter the
+    form, so canonicalization is alias-rename-invariant by construction;
+    it is also idempotent (see the property tests). *)
+
+module Query := Rdb_query.Query
+module Predicate := Rdb_query.Predicate
+
+type atom = { table : string; args : int array }
+(** Full-arity atom: [args.(c)] is the variable at column [c]. Columns not
+    constrained anywhere hold fresh singleton variables. *)
+
+type sel =
+  | S_star
+  | S_count of int
+  | S_min of int
+  | S_max of int
+  | S_sum of int
+
+type t = {
+  atoms : atom array;
+  var_preds : Predicate.t list array;
+  select : sel array;
+  n_vars : int;
+  redundant_eqs : int;
+      (** input equality constraints beyond a spanning forest of the
+          variable classes: duplicated edges, self-edges and cycle-closing
+          edges. Harmless semantically, but each one double-counts its
+          selectivity in the estimator. *)
+}
+
+val of_query : catalog:Catalog.t -> Query.t -> t
+(** Build and canonicalize. The catalog supplies table arities; raises if a
+    referenced table is missing (validate the query first). *)
+
+val canon : t -> t
+(** Canonical renaming (idempotent); [of_query] already applies it. *)
+
+val equal : t -> t -> bool
+(** Structural equality of canonical forms — a sound (but, for automorphic
+    twin atoms, incomplete) equivalence fast-path; [redundant_eqs] is
+    ignored. *)
+
+val redundancy : t -> int
+
+val to_query : name:string -> t -> Query.t
+(** Reconstruct a query: fresh [v<i>] aliases, one spanning star of edges
+    per shared variable, predicates attached to the variable's first
+    occurrence. *)
+
+val normalize : catalog:Catalog.t -> Query.t -> Query.t
+(** [to_query (of_query q)] — the canonicalization as a query-to-query
+    rewrite. Idempotent and alias-rename-invariant. *)
+
+val implies : Predicate.t -> Predicate.t -> bool
+(** [implies p q]: every non-NULL value satisfying [p] satisfies [q].
+    Sound, pairwise, incomplete. *)
+
+val preds_imply : Predicate.t list -> Predicate.t -> bool
+
+val preds_equivalent : Predicate.t list -> Predicate.t list -> bool
+
+val reduce_preds : Predicate.t list -> Predicate.t list
+(** Sort, dedupe, and drop predicates implied by another survivor. *)

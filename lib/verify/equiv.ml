@@ -1,0 +1,271 @@
+module Relset = Rdb_util.Relset
+module Query = Rdb_query.Query
+module Finding = Rdb_analysis.Finding
+
+(* Containment and equivalence of conjunctive queries by homomorphism
+   search — decidable for the engine's select-project-join fragment.
+
+   [hom ~from_ ~into] finds a mapping of [from_]'s atoms onto [into]'s
+   atoms (same table, per-position variable unification) such that [into]'s
+   predicates imply [from_]'s on every mapped variable, and select lists
+   correspond positionally. Its existence proves every tuple of [into]
+   satisfies [from_]: set-containment [into ⊆ from_].
+
+   Mutual containment proves set equivalence. Our queries aggregate over
+   the join result (COUNT/SUM are bag-sensitive), so [check_step] demands
+   the stronger bag equivalence: an isomorphism — a bijective homomorphism
+   whose matched variables carry mutually-implying predicate sets. *)
+
+type verdict =
+  | Bag_equal
+  | Set_equal
+  | Not_equal of string
+
+(* Map each atom of [from_] to a distinct atom of [into] when [injective];
+   unify args positionally into [h]. [pred_check] runs once a full mapping
+   exists; it can reject and force backtracking. *)
+let atom_search ~injective ~(from_ : Cqnf.t) ~(into : Cqnf.t) ~pred_check =
+  let nf = Array.length from_.Cqnf.atoms in
+  let ni = Array.length into.Cqnf.atoms in
+  if injective && nf <> ni then false
+  else begin
+    let h = Array.make from_.Cqnf.n_vars (-1) in
+    let used = Array.make ni false in
+    let rec assign i =
+      if i = nf then pred_check h
+      else begin
+        let a = from_.Cqnf.atoms.(i) in
+        let try_target j =
+          let b = into.Cqnf.atoms.(j) in
+          if b.Cqnf.table <> a.Cqnf.table then false
+          else if injective && used.(j) then false
+          else begin
+            (* unify a.args against b.args; record bindings for undo *)
+            let bound = ref [] in
+            let ok = ref true in
+            Array.iteri
+              (fun c v ->
+                if !ok then begin
+                  let w = b.Cqnf.args.(c) in
+                  if h.(v) = -1 then begin
+                    h.(v) <- w;
+                    bound := v :: !bound
+                  end
+                  else if h.(v) <> w then ok := false
+                end)
+              a.Cqnf.args;
+            let result =
+              if !ok then begin
+                used.(j) <- true;
+                let r = assign (i + 1) in
+                used.(j) <- false;
+                r
+              end
+              else false
+            in
+            if not result then List.iter (fun v -> h.(v) <- -1) !bound;
+            result
+          end
+        in
+        let rec try_all j = j < ni && (try_target j || try_all (j + 1)) in
+        try_all 0
+      end
+    in
+    assign 0
+  end
+
+(* Positional select-list correspondence under the variable map. *)
+let select_matches h (from_ : Cqnf.t) (into : Cqnf.t) =
+  Array.length from_.Cqnf.select = Array.length into.Cqnf.select
+  && Array.for_all2
+       (fun sf si ->
+         match sf, si with
+         | Cqnf.S_star, Cqnf.S_star -> true
+         | Cqnf.S_count v, Cqnf.S_count w
+         | Cqnf.S_min v, Cqnf.S_min w
+         | Cqnf.S_max v, Cqnf.S_max w
+         | Cqnf.S_sum v, Cqnf.S_sum w -> h.(v) = w
+         | _ -> false)
+       from_.Cqnf.select into.Cqnf.select
+
+let hom ~(from_ : Cqnf.t) ~(into : Cqnf.t) =
+  atom_search ~injective:false ~from_ ~into ~pred_check:(fun h ->
+      select_matches h from_ into
+      && Array.for_all Fun.id
+           (Array.mapi
+              (fun v ps ->
+                h.(v) = -1 (* variable only in select; select_matches covers it *)
+                || List.for_all
+                     (Cqnf.preds_imply into.Cqnf.var_preds.(h.(v)))
+                     ps)
+              from_.Cqnf.var_preds))
+
+let iso (a : Cqnf.t) (b : Cqnf.t) =
+  atom_search ~injective:true ~from_:a ~into:b ~pred_check:(fun h ->
+      select_matches h a b
+      && Array.for_all Fun.id
+           (Array.mapi
+              (fun v ps ->
+                h.(v) = -1
+                || Cqnf.preds_equivalent ps b.Cqnf.var_preds.(h.(v)))
+              a.Cqnf.var_preds))
+
+let contained ~sub ~super = hom ~from_:super ~into:sub
+
+let equivalence (a : Cqnf.t) (b : Cqnf.t) =
+  if Cqnf.equal a b || iso a b then Bag_equal
+  else begin
+    let ab = contained ~sub:a ~super:b in
+    let ba = contained ~sub:b ~super:a in
+    match ab, ba with
+    | true, true -> Set_equal
+    | true, false -> Not_equal "first query strictly contained in second"
+    | false, true -> Not_equal "second query strictly contained in first"
+    | false, false -> Not_equal "no containment in either direction"
+  end
+
+(* ---- re-optimization step inlining ---- *)
+
+exception Shape of string
+
+(* Undo [Reopt.rewrite]: map every reference into the rewritten query back
+   to the original's numbering — kept relations through the keep-list,
+   temp-table columns through [temp_cols] (the class representative each
+   exposed column stands for) — and re-attach the constraints that were
+   folded into the materialization (the set's internal edges and
+   predicates). The result is a query over the original relation array
+   whose equivalence to the original is exactly the correctness of the
+   step. *)
+let inline_step ~(original : Query.t) ~set ~temp_cols ~temp_name
+    (q' : Query.t) =
+  let n = Query.n_rels original in
+  let keep =
+    Array.of_list
+      (List.filter (fun i -> not (Relset.mem i set)) (List.init n Fun.id))
+  in
+  let temp_idx = Array.length keep in
+  if Query.n_rels q' <> temp_idx + 1 then
+    raise
+      (Shape
+         (Printf.sprintf "rewritten query has %d relations, expected %d"
+            (Query.n_rels q') (temp_idx + 1)));
+  if q'.Query.rels.(temp_idx).Query.table <> temp_name then
+    raise
+      (Shape
+         (Printf.sprintf "relation %d is %s, expected temp table %s" temp_idx
+            q'.Query.rels.(temp_idx).Query.table temp_name));
+  Array.iteri
+    (fun i orig_idx ->
+      if q'.Query.rels.(i).Query.table <> original.Query.rels.(orig_idx).Query.table
+      then
+        raise
+          (Shape
+             (Printf.sprintf "kept relation %d is %s, expected %s" i
+                q'.Query.rels.(i).Query.table
+                original.Query.rels.(orig_idx).Query.table)))
+    keep;
+  let temp_cols = Array.of_list temp_cols in
+  let back (cr : Query.colref) =
+    if cr.Query.rel = temp_idx then begin
+      if cr.Query.col < 0 || cr.Query.col >= Array.length temp_cols then
+        raise
+          (Shape
+             (Printf.sprintf "temp column %d out of range (%d exposed)"
+                cr.Query.col (Array.length temp_cols)));
+      temp_cols.(cr.Query.col)
+    end
+    else { cr with Query.rel = keep.(cr.Query.rel) }
+  in
+  let inside (cr : Query.colref) = Relset.mem cr.Query.rel set in
+  {
+    Query.name = original.Query.name ^ "~inlined";
+    rels = original.Query.rels;
+    preds =
+      List.filter (fun (p : Query.pred) -> inside p.Query.target)
+        original.Query.preds
+      @ List.map
+          (fun ({ Query.target; p } : Query.pred) ->
+            { Query.target = back target; p })
+          q'.Query.preds;
+    edges =
+      List.filter
+        (fun { Query.l; r } -> inside l && inside r)
+        original.Query.edges
+      @ List.map
+          (fun { Query.l; r } -> { Query.l = back l; r = back r })
+          q'.Query.edges;
+    select =
+      List.map
+        (function
+          | Query.Count_star -> Query.Count_star
+          | Query.Count_col cr -> Query.Count_col (back cr)
+          | Query.Min_col cr -> Query.Min_col (back cr)
+          | Query.Max_col cr -> Query.Max_col (back cr)
+          | Query.Sum_col cr -> Query.Sum_col (back cr))
+        q'.Query.select;
+  }
+
+(* Exact duplicates among the rewritten query's edges (same unordered
+   column pair) — the PR 2 [Reopt.rewrite] bug: two crossing edges whose
+   inside endpoints collapse to one temp column reappear as the same clause
+   twice and double-count its selectivity. *)
+let duplicate_edges (q : Query.t) =
+  let seen = Hashtbl.create 16 in
+  let dups = ref 0 in
+  List.iter
+    (fun { Query.l; r } ->
+      let key = if l <= r then (l, r) else (r, l) in
+      if Hashtbl.mem seen key then incr dups else Hashtbl.add seen key ())
+    q.Query.edges;
+  !dups
+
+let check_step ~catalog ~(original : Query.t) ~set ~temp_cols ~temp_name
+    (q' : Query.t) =
+  match inline_step ~original ~set ~temp_cols ~temp_name q' with
+  | exception Shape msg ->
+    [ Finding.error ~code:"rewrite-shape"
+        (Printf.sprintf "%s: rewrite does not have the expected shape: %s"
+           original.Query.name msg) ]
+  | inlined ->
+    let cq_orig = Cqnf.of_query ~catalog original in
+    let cq_inl = Cqnf.of_query ~catalog inlined in
+    let structural =
+      (let d = duplicate_edges q' in
+       if d > 0 then
+         [ Finding.error ~code:"rewrite-duplicate-edge"
+             (Printf.sprintf
+                "%s: rewrite introduced %d duplicated join clause(s) on %s \
+                 (each double-counts its selectivity)"
+                original.Query.name d temp_name) ]
+       else [])
+      @
+      (let before = Cqnf.redundancy cq_orig in
+       let after = Cqnf.redundancy cq_inl in
+       if after > before then
+         [ Finding.error ~code:"rewrite-redundant-edge"
+             (Printf.sprintf
+                "%s: rewrite raised redundant equality constraints from %d \
+                 to %d"
+                original.Query.name before after) ]
+       else [])
+    in
+    let semantic =
+      match equivalence cq_orig cq_inl with
+      | Bag_equal ->
+        [ Finding.info ~code:"rewrite-proved"
+            (Printf.sprintf
+               "%s: step %s proved equivalent to the original (bag \
+                semantics, isomorphism)"
+               original.Query.name temp_name) ]
+      | Set_equal ->
+        [ Finding.error ~code:"rewrite-bag-equivalence"
+            (Printf.sprintf
+               "%s: step %s is set-equivalent but not proved bag-equivalent \
+                — aggregates may differ"
+               original.Query.name temp_name) ]
+      | Not_equal reason ->
+        [ Finding.error ~code:"rewrite-not-equivalent"
+            (Printf.sprintf "%s: step %s is not equivalent to the original: %s"
+               original.Query.name temp_name reason) ]
+    in
+    structural @ semantic

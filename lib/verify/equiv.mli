@@ -1,0 +1,67 @@
+(** Rewrite-equivalence prover: conjunctive-query containment and
+    equivalence by homomorphism search (decidable for the engine's
+    select-project-join fragment), and its application to re-optimization
+    rewrite steps.
+
+    Set containment follows the classic tableau argument: [Q1 ⊆ Q2] iff a
+    homomorphism maps [Q2]'s canonical form into [Q1]'s. Because the
+    engine's queries aggregate over the join result (COUNT/SUM are
+    bag-sensitive), a rewrite step is only accepted as proved when the two
+    forms are isomorphic — a bijective homomorphism with mutually-implying
+    predicate sets — which is exactly bag equivalence for this fragment. *)
+
+module Relset = Rdb_util.Relset
+module Query := Rdb_query.Query
+module Finding := Rdb_analysis.Finding
+
+type verdict =
+  | Bag_equal  (** isomorphic: equal under bag semantics — fully proved *)
+  | Set_equal
+      (** mutually contained but not proved isomorphic: equal as sets only;
+          aggregates over duplicates may still differ *)
+  | Not_equal of string
+
+val hom : from_:Cqnf.t -> into:Cqnf.t -> bool
+(** A homomorphism from [from_] into [into] exists (atoms to same-table
+    atoms, positional variable unification, [into]'s predicates imply
+    [from_]'s, select lists correspond). Proves [into ⊆ from_]. *)
+
+val iso : Cqnf.t -> Cqnf.t -> bool
+(** A bijective homomorphism with per-variable predicate equivalence:
+    bag equivalence. *)
+
+val contained : sub:Cqnf.t -> super:Cqnf.t -> bool
+(** [sub ⊆ super] as sets of result tuples. *)
+
+val equivalence : Cqnf.t -> Cqnf.t -> verdict
+
+val inline_step :
+  original:Query.t ->
+  set:Relset.t ->
+  temp_cols:Query.colref list ->
+  temp_name:string ->
+  Query.t ->
+  Query.t
+(** Undo a [Reopt.rewrite]: substitute the temp table's definition (the
+    set's relations, internal edges and predicates) back into the rewritten
+    query, producing a query over the original relation array. Raises
+    {!Shape} when the rewritten query does not have the shape
+    [kept relations + one temp table]. *)
+
+exception Shape of string
+
+val check_step :
+  catalog:Catalog.t ->
+  original:Query.t ->
+  set:Relset.t ->
+  temp_cols:Query.colref list ->
+  temp_name:string ->
+  Query.t ->
+  Finding.t list
+(** Verify one re-optimization step: inline the temp-table definition back
+    and prove the result equivalent to the original ([rewrite-proved] info
+    on success; [rewrite-not-equivalent] / [rewrite-bag-equivalence] /
+    [rewrite-shape] errors otherwise), and reject rewrites that introduce
+    duplicated or redundant join clauses ([rewrite-duplicate-edge],
+    [rewrite-redundant-edge] errors) — semantically harmless but
+    selectivity-corrupting, the exact PR 2 bug class. *)

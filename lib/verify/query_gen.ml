@@ -1,0 +1,223 @@
+module Query = Rdb_query.Query
+module Predicate = Rdb_query.Predicate
+module Prng = Rdb_util.Prng
+
+(* Seeded random SPJ query generator over any catalog with declared foreign
+   keys: join shapes follow the FK graph (in either direction, so chains,
+   stars and self-joins all appear), predicate constants are sampled from
+   the live column data. Deterministic given the Prng state; used by the
+   property tests (parse/unparse fixpoint, canonicalization idempotence and
+   alias invariance) and available to the differential harness. *)
+
+type rule = { child : string; fk_col : int; parent : string; key_col : int }
+
+type t = { catalog : Catalog.t; rules : rule list }
+
+let create ~catalog =
+  let rules =
+    List.concat_map
+      (fun tbl ->
+        let schema = Table.schema tbl in
+        List.filter_map
+          (fun { Schema.fk_col; ref_table; ref_col } ->
+            match Catalog.table catalog ref_table with
+            | None -> None
+            | Some parent ->
+              (match Schema.find (Table.schema parent) ref_col with
+               | None -> None
+               | Some key_col ->
+                 Some { child = Table.name tbl; fk_col; parent = ref_table; key_col }))
+          (Schema.fks schema))
+      (Catalog.tables catalog)
+  in
+  if rules = [] then
+    invalid_arg "Query_gen.create: catalog declares no foreign keys";
+  { catalog; rules }
+
+let table_exn t name = Catalog.table_exn t.catalog name
+
+(* A random non-NULL value of a column, when one exists. *)
+let sample_value rng tbl col =
+  let n = Table.nrows tbl in
+  if n = 0 then None
+  else begin
+    let pick_int cells =
+      let rec go tries =
+        if tries = 0 then None
+        else begin
+          let v = cells.(Prng.int rng n) in
+          if v = Column.null_int then go (tries - 1) else Some (Value.Int v)
+        end
+      in
+      go 8
+    in
+    match Table.column tbl col with
+    | Column.Ints cells -> pick_int cells
+    | Column.Strs cells -> Some (Value.Str cells.(Prng.int rng n))
+  end
+
+let int_cols schema =
+  List.filteri (fun _ _ -> true)
+    (List.filter_map Fun.id
+       (List.init (Schema.arity schema) (fun c ->
+            if (Schema.column schema c).Schema.ty = Value.Ty_int then Some c
+            else None)))
+
+let str_cols schema =
+  List.filter_map Fun.id
+    (List.init (Schema.arity schema) (fun c ->
+         if (Schema.column schema c).Schema.ty = Value.Ty_str then Some c
+         else None))
+
+let choose rng = function
+  | [] -> None
+  | l -> Some (List.nth l (Prng.int rng (List.length l)))
+
+let rand_int_pred t rng table col =
+  let tbl = table_exn t table in
+  match sample_value rng tbl col with
+  | Some (Value.Int v) ->
+    (match Prng.int rng 5 with
+     | 0 -> Some (Predicate.Cmp (Predicate.Eq, Value.Int v))
+     | 1 ->
+       let op =
+         match Prng.int rng 4 with
+         | 0 -> Predicate.Lt
+         | 1 -> Predicate.Le
+         | 2 -> Predicate.Gt
+         | _ -> Predicate.Ge
+       in
+       Some (Predicate.Cmp (op, Value.Int v))
+     | 2 ->
+       (match sample_value rng tbl col with
+        | Some (Value.Int w) -> Some (Predicate.Between (min v w, max v w))
+        | _ -> None)
+     | 3 ->
+       let extra =
+         List.filter_map
+           (fun _ ->
+             match sample_value rng tbl col with
+             | Some (Value.Int w) -> Some (Value.Int w)
+             | _ -> None)
+           (List.init (1 + Prng.int rng 2) Fun.id)
+       in
+       Some (Predicate.In_list (Value.Int v :: extra))
+     | _ ->
+       Some (if Prng.int rng 4 = 0 then Predicate.Is_null else Predicate.Is_not_null))
+  | _ -> None
+
+let rand_str_pred t rng table col =
+  let tbl = table_exn t table in
+  match sample_value rng tbl col with
+  | Some (Value.Str s) when String.length s >= 3 ->
+    let len = String.length s in
+    (match Prng.int rng 3 with
+     | 0 -> Some (Predicate.Like (Predicate.Prefix (String.sub s 0 (2 + Prng.int rng 2))))
+     | 1 ->
+       let start = 1 + Prng.int rng (len - 2) in
+       let l = min (1 + Prng.int rng 3) (len - start) in
+       Some (Predicate.Like (Predicate.Contains (String.sub s start l)))
+     | _ ->
+       let l = 1 + Prng.int rng 2 in
+       Some (Predicate.Like (Predicate.Suffix (String.sub s (len - l) l))))
+  | _ -> None
+
+let rand_preds t rng rel table =
+  let schema = Table.schema (table_exn t table) in
+  let one () =
+    if Prng.int rng 4 = 0 then
+      match choose rng (str_cols schema) with
+      | Some col ->
+        Option.map
+          (fun p -> { Query.target = { Query.rel; col }; p })
+          (rand_str_pred t rng table col)
+      | None -> None
+    else
+      match choose rng (int_cols schema) with
+      | Some col ->
+        Option.map
+          (fun p -> { Query.target = { Query.rel; col }; p })
+          (rand_int_pred t rng table col)
+      | None -> None
+  in
+  let first = if Prng.int rng 3 < 2 then one () else None in
+  let second = if Prng.int rng 4 = 0 then one () else None in
+  List.filter_map Fun.id [ first; second ]
+
+let rand_aggs t rng (rels : Query.rel array) =
+  let rand_colref ~int_only =
+    let rel = Prng.int rng (Array.length rels) in
+    let schema = Table.schema (table_exn t rels.(rel).Query.table) in
+    let cols = if int_only then int_cols schema else int_cols schema @ str_cols schema in
+    Option.map (fun col -> { Query.rel; col }) (choose rng cols)
+  in
+  let extra () =
+    match Prng.int rng 4 with
+    | 0 -> Option.map (fun cr -> Query.Count_col cr) (rand_colref ~int_only:true)
+    | 1 -> Option.map (fun cr -> Query.Min_col cr) (rand_colref ~int_only:false)
+    | 2 -> Option.map (fun cr -> Query.Max_col cr) (rand_colref ~int_only:false)
+    | _ -> Option.map (fun cr -> Query.Sum_col cr) (rand_colref ~int_only:true)
+  in
+  Query.Count_star
+  :: List.filter_map Fun.id
+       [ (if Prng.bool rng then extra () else None);
+         (if Prng.int rng 3 = 0 then extra () else None) ]
+
+(* Grow a tree-connected query along the FK rules, starting from a random
+   rule endpoint and attaching each new alias to an existing one. *)
+let gen t rng ~name =
+  let n = Prng.int_in rng 2 5 in
+  let start =
+    let r = List.nth t.rules (Prng.int rng (List.length t.rules)) in
+    if Prng.bool rng then r.child else r.parent
+  in
+  let rels = ref [ start ] in
+  let edges = ref [] in
+  while List.length !rels < n do
+    let len = List.length !rels in
+    let ei = Prng.int rng len in
+    let et = List.nth !rels ei in
+    let candidates =
+      List.concat_map
+        (fun r ->
+          (if r.child = et then [ (r.fk_col, r.parent, r.key_col) ] else [])
+          @ (if r.parent = et then [ (r.key_col, r.child, r.fk_col) ] else []))
+        t.rules
+    in
+    match candidates with
+    | [] ->
+      (* a dimension-only start with no rules touching it cannot happen:
+         every start is a rule endpoint, and rules are bidirectional *)
+      assert false
+    | cs ->
+      let ec, nt, nc = List.nth cs (Prng.int rng (List.length cs)) in
+      rels := !rels @ [ nt ];
+      edges :=
+        { Query.l = { Query.rel = ei; col = ec };
+          r = { Query.rel = len; col = nc } }
+        :: !edges
+  done;
+  let rels =
+    Array.of_list
+      (List.mapi
+         (fun idx tname -> { Query.alias = Printf.sprintf "%s_%d" tname idx; table = tname })
+         !rels)
+  in
+  let preds =
+    List.concat
+      (List.mapi
+         (fun idx (r : Query.rel) -> rand_preds t rng idx r.Query.table)
+         (Array.to_list rels))
+  in
+  { Query.name; rels; preds; edges = List.rev !edges; select = rand_aggs t rng rels }
+
+(* Rename every alias reversibly: structure identical, aliases fresh. *)
+let rename_aliases (q : Query.t) =
+  {
+    q with
+    Query.rels =
+      Array.mapi
+        (fun i (r : Query.rel) ->
+          { r with Query.alias = Printf.sprintf "zz%d_%s" i r.Query.alias })
+        q.Query.rels;
+  }

@@ -1,0 +1,22 @@
+(** Seeded random SPJ query generator over any catalog with declared
+    foreign keys. Join shapes follow the FK graph in either direction;
+    predicate constants are sampled from the live column data, so generated
+    queries mix empty and non-empty results. Deterministic for a given
+    {!Rdb_util.Prng} state. *)
+
+module Query := Rdb_query.Query
+
+type t
+
+val create : catalog:Catalog.t -> t
+(** Derive the join rules from the schemas' foreign-key declarations.
+    Raises [Invalid_argument] when the catalog declares none. *)
+
+val gen : t -> Rdb_util.Prng.t -> name:string -> Query.t
+(** One random tree-connected query of 2–5 relation occurrences (self-joins
+    included), with 0–2 sampled predicates per relation and a COUNT-star-led
+    aggregate list — the shape of the engine's whole SPJ fragment. *)
+
+val rename_aliases : Query.t -> Query.t
+(** A structure-preserving alias renaming, for the alias-invariance
+    property test. *)

@@ -306,6 +306,15 @@ let check_rewrite catalog session q =
     Catalog.add_table catalog
       (Table.of_rows ~name:temp_name ~schema mat.Executor.mat_rows);
     let rewritten = Reopt.rewrite q ~set ~temp_name ~temp_cols:cols in
+    (* The symbolic prover must agree with the oracle that the rewrite
+       preserved the query — and it must prove it, not merely not-refute. *)
+    let findings =
+      Rdb_verify.Equiv.check_step ~catalog ~original:q ~set ~temp_cols:cols
+        ~temp_name rewritten
+    in
+    if Rdb_analysis.Finding.has_errors findings then
+      Alcotest.failf "%s: prover rejected the rewrite:\n%s" q.Query.name
+        (Rdb_analysis.Finding.render findings);
     let a = Naive.run ~catalog q in
     let b = Naive.run ~catalog rewritten in
     Catalog.drop_table catalog temp_name;
