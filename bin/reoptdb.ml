@@ -10,6 +10,10 @@
      reoptdb lint [--scale 0.1]         lint every workload query and plan
      reoptdb verify [--scale 0.1]       prove every re-opt rewrite equivalent
                                         and every plan within sound bounds
+     reoptdb fragility [--json p.json]  interval-sensitivity sweep: which
+                                        estimates each plan's optimality and
+                                        re-opt trigger depend on
+     reoptdb json-check report.json     strictly validate a JSON report
 
    Set RDB_TRACE=stderr (or =path for JSON-lines) to trace every pipeline
    phase as nested timed spans. *)
@@ -121,7 +125,13 @@ let cmd_explain =
     Arg.(value & opt float 32.0 & info [ "reopt" ] ~docv:"THRESHOLD"
            ~doc:"With --analyze: Q-error threshold of the trigger marker.")
   in
-  let run name scale seed mode_str analyze adaptive threshold pessimistic =
+  let bounds_arg =
+    Arg.(value & flag & info [ "bounds" ]
+           ~doc:"Print the symbolic verifier's sound cardinality interval \
+                 next to each operator's estimated (and actual) rows.")
+  in
+  let run name scale seed mode_str analyze adaptive threshold pessimistic
+      bounds =
     match parse_mode mode_str with
     | Error e -> prerr_endline e; 1
     | Ok mode ->
@@ -136,7 +146,7 @@ let cmd_explain =
       if analyze then begin
         let res = Session.execute ~adaptive prepared plan in
         print_string
-          (Rdb_core.Explain_analyze.render
+          (Rdb_core.Explain_analyze.render ~bounds
              ~trigger:(Trigger.create threshold) prepared plan res);
         List.iter
           (fun v -> print_endline ("  " ^ Value.to_string v))
@@ -144,10 +154,22 @@ let cmd_explain =
       end
       else begin
         let oracle = Session.oracle prepared in
+        let notes =
+          if not bounds then fun _ -> []
+          else begin
+            let ctx =
+              Rdb_verify.Card_bound.create ~catalog
+                ~stats:(Session.stats session) q
+            in
+            fun set ->
+              let lo, hi = Rdb_verify.Card_bound.interval ctx set in
+              [ Printf.sprintf "bounds=[%.0f, %.0f]" lo hi ]
+          end
+        in
         print_string
           (Rdb_plan.Explain.render
              ~actuals:(fun set -> Some (Oracle.true_card oracle set))
-             q plan)
+             ~notes q plan)
       end;
       Rdb_obs.Trace.flush ();
       0
@@ -157,9 +179,11 @@ let cmd_explain =
        ~doc:
          "Plan a query and print EXPLAIN with true cardinalities; with \
           --analyze, execute it and print EXPLAIN ANALYZE (actual rows, \
-          Q-error, work, adaptive switches, re-opt trigger).")
+          Q-error, work, adaptive switches, re-opt trigger); with --bounds, \
+          show the verifier's sound cardinality interval per operator.")
     Term.(const run $ query_pos $ scale_arg $ seed_arg $ mode_arg
-          $ analyze_arg $ adaptive_arg $ trigger_arg $ pessimistic_arg)
+          $ analyze_arg $ adaptive_arg $ trigger_arg $ pessimistic_arg
+          $ bounds_arg)
 
 (* ---- run ---- *)
 
@@ -288,16 +312,14 @@ let cmd_lint =
   let run scale seed threshold perfect_n =
     let catalog, session = make_session ~scale ~seed in
     let queries = Rdb_imdb.Job_queries.all catalog in
-    let n_errors = ref 0 and n_warnings = ref 0 in
     let n_plans = ref 0 and n_steps = ref 0 and n_capped = ref 0 in
+    (* Findings are collected, deduplicated and sorted before printing:
+       several hooks see the same artifact (Query_lint runs standalone and
+       inside every per-config plan check), and a stable
+       severity-then-query order keeps CI output diffable across runs. *)
+    let collected : (string * Finding.t) list ref = ref [] in
     let report ctx findings =
-      List.iter
-        (fun (f : Finding.t) ->
-          (match f.Finding.severity with
-           | Finding.Error -> incr n_errors
-           | Finding.Warning -> incr n_warnings
-           | Finding.Info -> ());
-          Printf.printf "%s: %s\n" ctx (Finding.to_string f))
+      List.iter (fun (f : Finding.t) -> collected := (ctx, f) :: !collected)
         findings
     in
     List.iter
@@ -318,7 +340,17 @@ let cmd_lint =
               incr n_plans;
               report
                 (Printf.sprintf "%s [%s]" name label)
-                (Plan_lint.check ~catalog ~estimator:est q plan)
+                (Plan_lint.check ~catalog ~estimator:est q plan);
+              (* Third finding source, on the default config only: the
+                 plan-robustness analyzer, with a few corner replans to
+                 surface joins whose estimate the plan choice hinges on. *)
+              if mode = Estimator.Default then
+                report
+                  (Printf.sprintf "%s [%s]" name label)
+                  (Rdb_analysis.Sensitivity.check ~threshold
+                     ~corner_replans:true ~corner_limit:4
+                     ~space:(Session.space prepared) ~catalog ~estimator:est
+                     q plan)
             (* With RDB_LINT=1 in the environment the in-loop hook raises
                before we can report; keep sweeping the other configs. *)
             | exception Rdb_analysis.Debug.Lint_failed findings ->
@@ -358,19 +390,67 @@ let cmd_lint =
          | exception Rdb_analysis.Debug.Lint_failed findings ->
            report (Printf.sprintf "%s [reopt]" name) findings))
       queries;
+    (* Dedupe: the same finding reported for the same query by several
+       hooks/configs (the config label in the context does not make it a
+       different finding) is printed once, under the first context that
+       produced it. *)
+    let seen = Hashtbl.create 256 in
+    let deduped =
+      List.filter
+        (fun (ctx, (f : Finding.t)) ->
+          let base =
+            match String.index_opt ctx ' ' with
+            | Some i -> String.sub ctx 0 i
+            | None -> ctx
+          in
+          let key = (base, Finding.to_string f) in
+          if Hashtbl.mem seen key then false
+          else (Hashtbl.add seen key (); true))
+        (List.rev !collected)
+    in
+    let sev_rank (f : Finding.t) =
+      match f.Finding.severity with
+      | Finding.Error -> 0
+      | Finding.Warning -> 1
+      | Finding.Info -> 2
+    in
+    let sorted =
+      List.stable_sort
+        (fun (c1, f1) (c2, f2) ->
+          match compare (sev_rank f1) (sev_rank f2) with
+          | 0 -> (
+            match compare c1 c2 with
+            | 0 -> compare (Finding.to_string f1) (Finding.to_string f2)
+            | c -> c)
+          | c -> c)
+        deduped
+    in
+    List.iter
+      (fun (ctx, f) -> Printf.printf "%s: %s\n" ctx (Finding.to_string f))
+      sorted;
+    let n_errors =
+      List.length
+        (List.filter (fun (_, f) -> sev_rank f = 0) sorted)
+    and n_warnings =
+      List.length
+        (List.filter (fun (_, f) -> sev_rank f = 1) sorted)
+    in
     Printf.printf
       "lint: %d queries, %d plans, %d rewrite steps checked (%d runaway \
        cells capped); %d errors, %d warnings\n"
-      (List.length queries) !n_plans !n_steps !n_capped !n_errors !n_warnings;
-    if !n_errors > 0 then 1 else 0
+      (List.length queries) !n_plans !n_steps !n_capped n_errors n_warnings;
+    if n_errors > 0 then 1 else 0
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Sweep the whole workload through the default, perfect-(n) and \
           re-optimization configurations and report static-analysis \
-          findings on every query, plan and rewrite step. Exits non-zero \
-          on error-severity findings.")
+          findings on every query, plan and rewrite step — including the \
+          plan-robustness analyzer's interval-sensitivity findings on the \
+          default config. Output is deduplicated and sorted by severity \
+          then query for stable CI diffs. Exits non-zero on error-severity \
+          findings.")
     Term.(const run $ lint_scale_arg $ seed_arg $ threshold_arg $ perfect_arg)
 
 (* ---- verify ---- *)
@@ -393,10 +473,21 @@ let cmd_verify =
     Arg.(value & opt int 4 & info [ "perfect" ] ~docv:"N"
            ~doc:"The perfect-(N) estimator configuration to sweep.")
   in
-  let run scale seed threshold perfect_n =
+  let gen_arg =
+    Arg.(value & opt int 20 & info [ "gen" ] ~docv:"N"
+           ~doc:"Also bound-check the plans of N generated queries (random \
+                 FK-joins with sampled predicates), seeded by --seed.")
+  in
+  let run scale seed threshold perfect_n n_gen =
     let catalog, session = make_session ~scale ~seed in
     let stats = Session.stats session in
     let queries = Rdb_imdb.Job_queries.all catalog in
+    (* The header logs the seed: it drives both the data generator and the
+       generated-query sweep, so a failure line below is reproducible by
+       rerunning with the same --seed. *)
+    Printf.printf
+      "verify: seed=%d scale=%g reopt-threshold=%g perfect=%d gen=%d\n" seed
+      scale threshold perfect_n n_gen;
     let n_errors = ref 0 and n_warnings = ref 0 in
     let n_plans = ref 0 and n_proved = ref 0 and n_capped = ref 0 in
     let report ctx findings =
@@ -480,10 +571,31 @@ let cmd_verify =
          | exception Rdb_analysis.Debug.Lint_failed findings ->
            report (Printf.sprintf "%s [reopt]" name) findings))
       queries;
+    (* Generated-query sweep: the workload exercises 113 fixed shapes; the
+       seeded generator adds fresh FK-join shapes and predicate constants,
+       all bound-checked against the same sound intervals. *)
+    (if n_gen > 0 then begin
+       let gen = Rdb_verify.Query_gen.create ~catalog in
+       let prng = Rdb_util.Prng.create seed in
+       for i = 1 to n_gen do
+         let q =
+           Rdb_verify.Query_gen.gen gen prng
+             ~name:(Printf.sprintf "gen%d" i)
+         in
+         let prepared = Session.prepare session q in
+         let bounds = Card_bound.create ~catalog ~stats q in
+         let plan, _, _ = Session.plan prepared ~mode:Estimator.Default in
+         incr n_plans;
+         report
+           (Printf.sprintf "%s [default]" q.Rdb_query.Query.name)
+           (Card_bound.check_plan bounds plan)
+       done
+     end);
     Printf.printf
-      "verify: %d queries, %d plans bound-checked, %d rewrite steps proved \
-       equivalent (%d runaway cells capped); %d errors, %d warnings\n"
-      (List.length queries) !n_plans !n_proved !n_capped !n_errors
+      "verify: %d workload + %d generated queries, %d plans bound-checked, \
+       %d rewrite steps proved equivalent (%d runaway cells capped); %d \
+       errors, %d warnings\n"
+      (List.length queries) n_gen !n_plans !n_proved !n_capped !n_errors
       !n_warnings;
     if !n_errors > 0 then 1 else 0
   in
@@ -495,9 +607,255 @@ let cmd_verify =
           every chosen plan's estimates against sound cardinality bounds \
           (default, perfect-(n) and pessimistic configurations), and prove \
           every re-optimization rewrite step equivalent to its pre-step \
-          query. Exits non-zero on error-severity findings.")
+          query. A seeded generated-query sweep (--gen, --seed) adds fresh \
+          join shapes beyond the fixed workload; the report header logs the \
+          seed. Exits non-zero on error-severity findings.")
     Term.(const run $ verify_scale_arg $ seed_arg $ threshold_arg
-          $ perfect_arg)
+          $ perfect_arg $ gen_arg)
+
+(* ---- fragility ---- *)
+
+let cmd_fragility =
+  let module Sensitivity = Rdb_analysis.Sensitivity in
+  let module Card_bound = Rdb_verify.Card_bound in
+  let module J = Rdb_obs.Json in
+  let thresholds = [ 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 ] in
+  let frag_scale_arg =
+    Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"FACTOR"
+           ~doc:"Database scale factor. The sweep never executes queries; \
+                 scale only affects the statistics the estimates come from.")
+  in
+  let envelope_arg =
+    Arg.(value & opt float 64.0 & info [ "envelope" ] ~docv:"Q"
+           ~doc:"Q-error envelope factor: each estimate's true value is \
+                 assumed to lie in [est/Q, est*Q], further intersected with \
+                 the symbolic verifier's sound bounds unless --no-bounds.")
+  in
+  let no_bounds_arg =
+    Arg.(value & flag & info [ "no-bounds" ]
+           ~doc:"Do not intersect the envelope with the verifier's sound \
+                 cardinality bounds.")
+  in
+  let corner_limit_arg =
+    Arg.(value & opt int 0 & info [ "corner-limit" ] ~docv:"N"
+           ~doc:"Corner-replan at most the N joins with the widest \
+                 envelopes per query (each costs two optimizer runs); 0 \
+                 replans every join.")
+  in
+  let queries_arg =
+    Arg.(value & opt (some string) None & info [ "queries" ] ~docv:"LIST"
+           ~doc:"Comma-separated query names to sweep (default: all 113).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
+           ~doc:"Write the full per-query fragility report as JSON to PATH.")
+  in
+  let run scale seed env_factor no_bounds corner_limit queries_filter
+      json_path =
+    let catalog, session = make_session ~scale ~seed in
+    let queries = Rdb_imdb.Job_queries.all catalog in
+    let queries =
+      match queries_filter with
+      | None -> queries
+      | Some list ->
+        let wanted = String.split_on_char ',' list in
+        List.filter
+          (fun (q : Rdb_query.Query.t) ->
+            List.mem q.Rdb_query.Query.name wanted)
+          queries
+    in
+    let corner_limit = if corner_limit <= 0 then max_int else corner_limit in
+    Printf.printf
+      "fragility: seed=%d scale=%g envelope=%g bounds=%b queries=%d \
+       thresholds={%s}\n"
+      seed scale env_factor (not no_bounds) (List.length queries)
+      (String.concat ","
+         (List.map (fun t -> Printf.sprintf "%g" t) thresholds));
+    (* Per (threshold, metric) totals, accumulated query by query. *)
+    let tally = Hashtbl.create 16 in
+    let bump t key =
+      let k = (t, key) in
+      Hashtbl.replace tally k (1 + Option.value ~default:0 (Hashtbl.find_opt tally k))
+    in
+    let query_docs =
+      List.map
+        (fun (q : Rdb_query.Query.t) ->
+          let name = q.Rdb_query.Query.name in
+          let prepared = Session.prepare session q in
+          let plan, _, est = Session.plan prepared ~mode:Estimator.Default in
+          let envelope =
+            let q_env = Sensitivity.q_envelope env_factor in
+            if no_bounds then q_env
+            else begin
+              let ctx =
+                Card_bound.create ~catalog ~stats:(Session.stats session) q
+              in
+              Sensitivity.intersect q_env
+                (Sensitivity.of_intervals (Card_bound.interval ctx))
+            end
+          in
+          (* One interval interpretation + one set of corner replans per
+             query: the envelope is fixed, only the trigger threshold is
+             swept, so flips are classified per threshold afterwards. *)
+          let report =
+            Sensitivity.analyze ~envelope ~threshold:(List.hd thresholds)
+              ~corner_replans:true ~corner_limit
+              ~space:(Session.space prepared) ~catalog ~estimator:est q plan
+          in
+          let flips =
+            List.filter
+              (fun (f : Sensitivity.fragility) -> f.Sensitivity.frag_flips <> None)
+              report.Sensitivity.fragilities
+          in
+          List.iter
+            (fun (f : Sensitivity.fragility) ->
+              match f.Sensitivity.frag_flips with
+              | Some (corner, shape) ->
+                Printf.printf
+                  "%s: flip {%s} est %.0f -> %.0f changes plan to %s (worst \
+                   q-error %.1f)\n"
+                  name
+                  (String.concat "," f.Sensitivity.frag_aliases)
+                  f.Sensitivity.frag_est corner shape
+                  f.Sensitivity.frag_q_error
+              | None -> ())
+            flips;
+          let by_threshold =
+            List.map
+              (fun t ->
+                let predicted =
+                  Sensitivity.predict_trigger ~envelope ~threshold:t q plan
+                in
+                let fragile =
+                  List.filter
+                    (fun (f : Sensitivity.fragility) ->
+                      f.Sensitivity.frag_q_error >= t)
+                    flips
+                and blind =
+                  List.filter
+                    (fun (f : Sensitivity.fragility) ->
+                      f.Sensitivity.frag_q_error < t)
+                    flips
+                in
+                let robust = predicted = None && flips = [] in
+                (match predicted with
+                 | Some p ->
+                   bump t "predicted";
+                   if p.Sensitivity.pred_certain then bump t "certain"
+                 | None -> ());
+                if fragile <> [] then bump t "fragile";
+                if blind <> [] then bump t "blind";
+                if robust then bump t "robust";
+                J.Obj
+                  [ ("threshold", J.Float t);
+                    ( "predicted_trigger",
+                      match predicted with
+                      | None -> J.Null
+                      | Some p ->
+                        J.Str
+                          (String.concat "," p.Sensitivity.pred_aliases) );
+                    ( "trigger_certain",
+                      J.Bool
+                        (match predicted with
+                         | Some p -> p.Sensitivity.pred_certain
+                         | None -> false) );
+                    ("fragile_joins", J.Int (List.length fragile));
+                    ("reopt_blind_spots", J.Int (List.length blind));
+                    ("robust", J.Bool robust) ])
+              thresholds
+          in
+          J.Obj
+            [ ("query", J.Str name);
+              ("joins", J.Int (Rdb_plan.Plan.n_joins plan));
+              ("shape", J.Str report.Sensitivity.plan_shape);
+              ( "root_cost",
+                J.Obj
+                  [ ("lo", J.Float report.Sensitivity.root_cost.Rdb_cost.Interval.lo);
+                    ("hi", J.Float report.Sensitivity.root_cost.Rdb_cost.Interval.hi) ] );
+              ("plan_flips", J.Int (List.length flips));
+              ("by_threshold", J.List by_threshold) ])
+        queries
+    in
+    let count t key = Option.value ~default:0 (Hashtbl.find_opt tally (t, key)) in
+    List.iter
+      (fun t ->
+        Printf.printf
+          "threshold %3g: trigger predicted %d (certain %d) | fragile %d | \
+           re-opt blind spots %d | robust %d of %d\n"
+          t (count t "predicted") (count t "certain") (count t "fragile")
+          (count t "blind") (count t "robust") (List.length queries))
+      thresholds;
+    (match json_path with
+     | None -> ()
+     | Some path ->
+       let doc =
+         J.Obj
+           [ ("report", J.Str "fragility");
+             ("scale", J.Float scale);
+             ("seed", J.Int seed);
+             ("envelope", J.Float env_factor);
+             ("bounds", J.Bool (not no_bounds));
+             ("thresholds", J.List (List.map (fun t -> J.Float t) thresholds));
+             ("queries", J.List query_docs) ]
+       in
+       let oc = open_out path in
+       output_string oc (J.to_string doc);
+       output_char oc '\n';
+       close_out oc;
+       Printf.eprintf "fragility report written to %s\n%!" path);
+    0
+  in
+  Cmd.v
+    (Cmd.info "fragility"
+       ~doc:
+         "Static plan-robustness sweep: propagate cardinality intervals \
+          through the cost model for every workload query, predict which \
+          join would trip the re-optimizer at each threshold in \
+          {2,4,8,16,32,64}, and corner-replan each join's envelope to find \
+          the estimates the DP-optimal plan actually depends on. Never \
+          executes a query.")
+    Term.(const run $ frag_scale_arg $ seed_arg $ envelope_arg
+          $ no_bounds_arg $ corner_limit_arg $ queries_arg $ json_arg)
+
+(* ---- json-check ---- *)
+
+let cmd_json_check =
+  let path_pos =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH"
+           ~doc:"JSON report to validate.")
+  in
+  let run path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error e -> Printf.eprintf "json-check: %s\n" e; 1
+    | text ->
+      (match Rdb_obs.Json.parse_opt text with
+       | Some (Rdb_obs.Json.Obj fields) ->
+         Printf.printf "json-check: %s: valid object, %d top-level keys, %d \
+                        bytes\n"
+           path (List.length fields) (String.length text);
+         0
+       | Some _ ->
+         Printf.eprintf
+           "json-check: %s: valid JSON but not an object (reports are \
+            objects)\n"
+           path;
+         1
+       | None ->
+         Printf.eprintf "json-check: %s: not valid JSON\n" path;
+         1)
+  in
+  Cmd.v
+    (Cmd.info "json-check"
+       ~doc:
+         "Validate a JSON report (metrics dump, fragility report) with the \
+          engine's strict dependency-free parser. Exits non-zero unless the \
+          file is one syntactically valid JSON object.")
+    Term.(const run $ path_pos)
 
 let () =
   let info =
@@ -511,4 +869,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ cmd_queries; cmd_sql; cmd_explain; cmd_run; cmd_experiment;
-            cmd_lint; cmd_verify ]))
+            cmd_lint; cmd_verify; cmd_fragility; cmd_json_check ]))

@@ -14,10 +14,18 @@ exception Lint_failed of Finding.t list
 val enabled : unit -> bool
 (** [RDB_LINT] is set to [1] or [true] in the environment. *)
 
+val sensitivity_threshold : unit -> float option
+(** The Q-error envelope factor requested through [RDB_SENSITIVITY]:
+    [None] when unset/[0]/[false], [Some 32.] for [1]/[true] (the default
+    envelope), [Some t] for a numeric value [t >= 1]. *)
+
 val install : unit -> unit
-(** Install the plan-lint hook into [Rdb_plan.Optimizer.lint_hook].
-    Idempotent; called by [Rdb_core.Session.create], so any session-based
-    pipeline honors [RDB_LINT=1] without further wiring. *)
+(** Install the plan-lint hook into [Rdb_plan.Optimizer.lint_hook] and the
+    plan-robustness analyzer into [Rdb_plan.Optimizer.sensitivity_hook]
+    (interval cost propagation and cost-consistency checks only — no corner
+    replans on the planning hot path). Idempotent; called by
+    [Rdb_core.Session.create], so any session-based pipeline honors
+    [RDB_LINT=1] / [RDB_SENSITIVITY=...] without further wiring. *)
 
 val check_query_exn : catalog:Catalog.t -> Rdb_query.Query.t -> unit
 (** Run {!Query_lint.check}; raise {!Lint_failed} on error findings. *)

@@ -1,0 +1,435 @@
+module Relset = Rdb_util.Relset
+module Stat_utils = Rdb_util.Stat_utils
+module Query = Rdb_query.Query
+module Join_graph = Rdb_query.Join_graph
+module Estimator = Rdb_card.Estimator
+module Cost_model = Rdb_cost.Cost_model
+module Interval = Rdb_cost.Interval
+module Plan = Rdb_plan.Plan
+module Optimizer = Rdb_plan.Optimizer
+module Search_space = Rdb_plan.Search_space
+module Metrics = Rdb_obs.Metrics
+
+type envelope = Relset.t -> est:float -> float * float
+
+let q_envelope factor =
+  if factor < 1.0 then invalid_arg "Sensitivity.q_envelope: factor must be >= 1";
+  fun _ ~est -> (est /. factor, est *. factor)
+
+let point_envelope f =
+ fun s ~est:_ ->
+  let v = f s in
+  (v, v)
+
+let of_intervals f = fun s ~est:_ -> f s
+
+let intersect a b =
+ fun s ~est ->
+  let l1, h1 = a s ~est and l2, h2 = b s ~est in
+  let lo = Float.max l1 l2 and hi = Float.min h1 h2 in
+  if lo <= hi then (lo, hi)
+  else begin
+    let v = Stat_utils.clamp ~lo:l2 ~hi:h2 (Stat_utils.clamp ~lo:l1 ~hi:h1 est) in
+    (v, v)
+  end
+
+(* Worst / best Q-error over an interval of possible actuals. q_error is
+   monotone on either side of the estimate, so the worst case sits at an
+   endpoint and the best case at the point of the interval closest to the
+   estimate. *)
+let worst_q ~est (lo, hi) =
+  Float.max (Stat_utils.q_error ~est ~actual:lo) (Stat_utils.q_error ~est ~actual:hi)
+
+let best_q ~est (lo, hi) =
+  if lo <= est && est <= hi then 1.0
+  else Float.min (Stat_utils.q_error ~est ~actual:lo) (Stat_utils.q_error ~est ~actual:hi)
+
+type node = {
+  node_set : Relset.t;
+  node_est : float;
+  node_interval : float * float;
+  node_cost : Interval.t;
+  node_exact_cost : float;
+  node_is_join : bool;
+}
+
+type prediction = {
+  pred_set : Relset.t;
+  pred_aliases : string list;
+  pred_est : float;
+  pred_interval : float * float;
+  pred_q_error : float;
+  pred_certain : bool;
+}
+
+type fragility = {
+  frag_set : Relset.t;
+  frag_aliases : string list;
+  frag_est : float;
+  frag_interval : float * float;
+  frag_q_error : float;
+  frag_trips : bool;
+  frag_flips : (float * string) option;
+}
+
+type report = {
+  threshold : float;
+  plan_shape : string;
+  root_cost : Interval.t;
+  nodes : node list;
+  predicted : prediction option;
+  fragilities : fragility list;
+  cost_mismatches : (Relset.t * float * float) list;
+}
+
+let aliases_of q set = List.map (Query.rel_alias q) (Relset.to_list set)
+
+let inl_npreds (q : Query.t) (j : Plan.join) =
+  let base =
+    match j.Plan.inner with
+    | Plan.Scan s -> List.length (Query.preds_of q s.Plan.scan_rel)
+    | Plan.Join _ -> 0 (* corrupt INL inner; Plan_lint owns the report *)
+  in
+  base + List.length j.Plan.join_edges - 1
+
+(* One bottom-up walk computes, per node: the envelope interval on its true
+   output rows, the interval of its subtree cost (corner evaluation — exact
+   because every cost formula is monotone), and a point recomputation of the
+   node's own cost from its children's *recorded* costs, which must agree
+   with the recorded cost on an uncorrupted plan. *)
+let interp ~envelope ~cost_params (q : Query.t) plan =
+  let cp = cost_params in
+  let nodes = ref [] in
+  let push n = nodes := n :: !nodes in
+  let rec go p =
+    match p with
+    | Plan.Scan s ->
+      let set = Relset.singleton s.Plan.scan_rel in
+      let iv = envelope set ~est:s.Plan.scan_est in
+      (* A scan's cost depends on physical row counts and index selectivity,
+         not on the post-predicate estimate the envelope perturbs: the cost
+         stays a point even when the output cardinality is uncertain. *)
+      let cost = Interval.point s.Plan.scan_cost in
+      push
+        {
+          node_set = set;
+          node_est = s.Plan.scan_est;
+          node_interval = iv;
+          node_cost = cost;
+          node_exact_cost = s.Plan.scan_cost;
+          node_is_join = false;
+        };
+      (cost, iv)
+    | Plan.Join j ->
+      let o_cost, o_iv = go j.Plan.outer in
+      let i_cost, i_iv = go j.Plan.inner in
+      let set =
+        Relset.union (Plan.rel_set j.Plan.outer) (Plan.rel_set j.Plan.inner)
+      in
+      let est = j.Plan.join_est in
+      let out_iv = envelope set ~est in
+      let box (lo, hi) = Interval.make lo hi in
+      let o_rows = box o_iv and i_rows = box i_iv and out = box out_iv in
+      let o_pt = Plan.est_rows j.Plan.outer and i_pt = Plan.est_rows j.Plan.inner in
+      let o_rec = Plan.cost j.Plan.outer and i_rec = Plan.cost j.Plan.inner in
+      let cost, exact =
+        match j.Plan.algo with
+        | Plan.Hash_join ->
+          ( Interval.add (Interval.add o_cost i_cost)
+              (Interval.hash_join cp ~build:i_rows ~probe:o_rows ~out),
+            o_rec +. i_rec
+            +. Cost_model.hash_join cp ~build:i_pt ~probe:o_pt ~out:est )
+        | Plan.Nested_loop ->
+          ( Interval.add (Interval.add o_cost i_cost)
+              (Interval.nested_loop cp ~outer:o_rows ~inner:i_rows ~out),
+            o_rec +. i_rec
+            +. Cost_model.nested_loop cp ~outer:o_pt ~inner:i_pt ~out:est )
+        | Plan.Merge_join ->
+          ( Interval.add (Interval.add o_cost i_cost)
+              (Interval.merge_join cp ~outer:o_rows ~inner:i_rows ~out),
+            o_rec +. i_rec
+            +. Cost_model.merge_join cp ~outer:o_pt ~inner:i_pt ~out:est )
+        | Plan.Index_nl _ ->
+          let npreds = inl_npreds q j in
+          ( Interval.add o_cost
+              (Interval.index_nested_loop cp ~outer:o_rows ~out ~npreds),
+            o_rec +. Cost_model.index_nested_loop cp ~outer:o_pt ~out:est ~npreds
+          )
+      in
+      push
+        {
+          node_set = set;
+          node_est = est;
+          node_interval = out_iv;
+          node_cost = cost;
+          node_exact_cost = exact;
+          node_is_join = true;
+        };
+      (cost, out_iv)
+  in
+  let root_cost, _ = go plan in
+  (root_cost, List.rev !nodes)
+
+let predict_trigger ?(min_actual_rows = 0) ~envelope ~threshold (q : Query.t)
+    plan =
+  let best = ref None in
+  (* Mirror of Reopt.find_trigger: post-order over join nodes, a later
+     candidate wins only with strictly fewer relations, or equally many and
+     strictly greater depth. *)
+  let rec walk depth p =
+    match p with
+    | Plan.Scan _ -> ()
+    | Plan.Join j ->
+      walk (depth + 1) j.Plan.outer;
+      walk (depth + 1) j.Plan.inner;
+      let set =
+        Relset.union (Plan.rel_set j.Plan.outer) (Plan.rel_set j.Plan.inner)
+      in
+      let est = j.Plan.join_est in
+      let lo, hi = envelope set ~est in
+      let lo = Float.max lo (float_of_int min_actual_rows) in
+      if lo <= hi && worst_q ~est (lo, hi) >= threshold then begin
+        let size = Relset.cardinal set in
+        let better =
+          match !best with
+          | None -> true
+          | Some (prev_set, _, _, prev_depth) ->
+            let prev_size = Relset.cardinal prev_set in
+            size < prev_size || (size = prev_size && depth > prev_depth)
+        in
+        if better then best := Some (set, est, (lo, hi), depth)
+      end
+  in
+  walk 0 plan;
+  Option.map
+    (fun (set, est, iv, _depth) ->
+      {
+        pred_set = set;
+        pred_aliases = aliases_of q set;
+        pred_est = est;
+        pred_interval = iv;
+        pred_q_error = worst_q ~est iv;
+        pred_certain = best_q ~est iv >= threshold;
+      })
+    !best
+
+(* Re-run the DP with one subset's estimate pinned to [card]. The bound hook
+   intercepts exactly that subset's memoized estimate; every other estimate
+   reproduces the base estimator bit-for-bit, so a plan diff is attributable
+   to the one perturbed cardinality. *)
+let replan ~space ~cost_params ~catalog ~estimator (q : Query.t) ~set ~card =
+  let pinned =
+    Estimator.create
+      ~bound:(fun s v -> if Relset.equal s set then card else v)
+      ~mode:(Estimator.mode estimator) ~catalog ~stats:(Estimator.db_stats estimator)
+      ?oracle:(Estimator.oracle estimator) q
+  in
+  let p, _stats =
+    Optimizer.plan ~lint:false ~verify:false ~sensitivity:false ~space
+      ~cost_params ~catalog ~estimator:pinned q
+  in
+  p
+
+let default_threshold = 32.0
+
+let analyze ?envelope ?(threshold = default_threshold) ?(min_actual_rows = 0)
+    ?(corner_replans = true) ?(corner_limit = max_int) ?space
+    ?(cost_params = Cost_model.default) ~catalog ~estimator (q : Query.t) plan =
+  Metrics.incr "analysis.sensitivity_runs";
+  let envelope =
+    match envelope with Some e -> e | None -> q_envelope threshold
+  in
+  let root_cost, nodes = interp ~envelope ~cost_params q plan in
+  (* The recorded cost is not part of [node]; walk the tree again so each
+     join is compared against its own recorded cost. *)
+  let cost_mismatches =
+    let acc = ref [] in
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun n -> if n.node_is_join then Hashtbl.replace tbl (n.node_set :> int) n)
+      nodes;
+    List.iter
+      (fun (j : Plan.join) ->
+        let set =
+          Relset.union (Plan.rel_set j.Plan.outer) (Plan.rel_set j.Plan.inner)
+        in
+        match Hashtbl.find_opt tbl (set :> int) with
+        | Some n ->
+          let tol = 1e-6 *. Float.max 1.0 (Float.abs j.Plan.join_cost) in
+          if Float.abs (j.Plan.join_cost -. n.node_exact_cost) > tol then
+            acc := (set, j.Plan.join_cost, n.node_exact_cost) :: !acc
+        | None -> ())
+      (Plan.joins_bottom_up plan);
+    List.rev !acc
+  in
+  let predicted = predict_trigger ~min_actual_rows ~envelope ~threshold q plan in
+  let joins = List.filter (fun n -> n.node_is_join) nodes in
+  (* Ration corner replans to the joins whose envelope admits the largest
+     error: each replanned join costs two extra DP runs. *)
+  let replanned_sets =
+    if (not corner_replans) || joins = [] then []
+    else begin
+      let ranked =
+        List.stable_sort
+          (fun a b ->
+            compare
+              (worst_q ~est:b.node_est b.node_interval)
+              (worst_q ~est:a.node_est a.node_interval))
+          joins
+      in
+      let rec take k = function
+        | [] -> []
+        | _ when k <= 0 -> []
+        | x :: tl -> x.node_set :: take (k - 1) tl
+      in
+      take corner_limit ranked
+    end
+  in
+  let space =
+    if replanned_sets = [] then space
+    else
+      Some
+        (match space with
+        | Some s -> s
+        | None -> Search_space.build (Join_graph.make q))
+  in
+  let fragilities =
+    List.map
+      (fun n ->
+        let est = n.node_est in
+        let lo, hi = n.node_interval in
+        let wq = worst_q ~est n.node_interval in
+        let lo_t = Float.max lo (float_of_int min_actual_rows) in
+        let trips = lo_t <= hi && worst_q ~est (lo_t, hi) >= threshold in
+        let flips =
+          if not (List.exists (Relset.equal n.node_set) replanned_sets) then
+            None
+          else begin
+            let space = Option.get space in
+            let distinct_corners =
+              List.filter
+                (fun c ->
+                  Float.abs (c -. est) > 1e-9 *. Float.max 1.0 (Float.abs est))
+                (if Float.abs (hi -. lo) <= 1e-9 *. Float.max 1.0 hi then [ lo ]
+                 else [ lo; hi ])
+            in
+            List.fold_left
+              (fun found corner ->
+                match found with
+                | Some _ -> found
+                | None ->
+                  Metrics.incr "analysis.corner_replans";
+                  let p' =
+                    replan ~space ~cost_params ~catalog ~estimator q
+                      ~set:n.node_set ~card:corner
+                  in
+                  if Plan.same_shape plan p' then None
+                  else Some (corner, Plan.shape q p'))
+              None distinct_corners
+          end
+        in
+        (match flips with
+        | Some _ -> Metrics.incr "analysis.fragile_joins"
+        | None -> ());
+        {
+          frag_set = n.node_set;
+          frag_aliases = aliases_of q n.node_set;
+          frag_est = est;
+          frag_interval = n.node_interval;
+          frag_q_error = wq;
+          frag_trips = trips;
+          frag_flips = flips;
+        })
+      joins
+  in
+  {
+    threshold;
+    plan_shape = Plan.shape q plan;
+    root_cost;
+    nodes;
+    predicted;
+    fragilities;
+    cost_mismatches;
+  }
+
+let string_of_aliases aliases = String.concat "," aliases
+
+let rows_str v =
+  if Float.abs v < 1e7 && Float.equal (Float.round v) v then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.3g" v
+
+let interval_str (lo, hi) =
+  Printf.sprintf "[%s, %s]" (rows_str lo) (rows_str hi)
+
+let findings (q : Query.t) report =
+  let fs = ref [] in
+  let add f = fs := f :: !fs in
+  List.iter
+    (fun (set, recorded, recomputed) ->
+      add
+        (Finding.error ~code:"interval-cost-mismatch"
+           (Printf.sprintf
+              "join {%s}: recorded cost %.3f disagrees with the cost model's \
+               %.3f at the plan's own estimates"
+              (string_of_aliases (aliases_of q set))
+              recorded recomputed)))
+    report.cost_mismatches;
+  List.iter
+    (fun f ->
+      match f.frag_flips with
+      | None -> ()
+      | Some (corner, shape) ->
+        if f.frag_trips then
+          add
+            (Finding.warning ~code:"fragile-join"
+               (Printf.sprintf
+                  "join {%s} (est %s): at %s within envelope %s the \
+                   DP-optimal plan changes to %s, and the error is large \
+                   enough to trip re-optimization (worst q-error %.1f >= %g)"
+                  (string_of_aliases f.frag_aliases)
+                  (rows_str f.frag_est) (rows_str corner)
+                  (interval_str f.frag_interval)
+                  shape f.frag_q_error report.threshold))
+        else
+          add
+            (Finding.warning ~code:"reopt-blind-spot"
+               (Printf.sprintf
+                  "join {%s} (est %s): at %s within envelope %s the \
+                   DP-optimal plan changes to %s, but the worst q-error \
+                   %.1f stays below the trigger threshold %g — \
+                   re-optimization would never correct this plan"
+                  (string_of_aliases f.frag_aliases)
+                  (rows_str f.frag_est) (rows_str corner)
+                  (interval_str f.frag_interval)
+                  shape f.frag_q_error report.threshold)))
+    report.fragilities;
+  (match report.predicted with
+  | None -> ()
+  | Some p ->
+    add
+      (Finding.info ~code:"predicted-reopt-trigger"
+         (Printf.sprintf
+            "re-optimization %s trigger on join {%s}: est %s, envelope %s, \
+             worst q-error %.1f >= %g"
+            (if p.pred_certain then "will" else "may")
+            (string_of_aliases p.pred_aliases)
+            (rows_str p.pred_est)
+            (interval_str p.pred_interval)
+            p.pred_q_error report.threshold)));
+  if !fs = [] then
+    add
+      (Finding.info ~code:"plan-robust"
+         (Printf.sprintf
+            "plan %s is stable: no estimate within the q=%g envelope trips \
+             re-optimization or changes the DP-optimal plan"
+            report.plan_shape report.threshold));
+  List.rev !fs
+
+let check ?envelope ?threshold ?min_actual_rows ?corner_replans ?corner_limit
+    ?space ?cost_params ~catalog ~estimator q plan =
+  let report =
+    analyze ?envelope ?threshold ?min_actual_rows ?corner_replans ?corner_limit
+      ?space ?cost_params ~catalog ~estimator q plan
+  in
+  findings q report

@@ -90,6 +90,7 @@ let create ?log ?bound ~mode ~catalog ~stats ?oracle q =
 
 let mode t = t.mode
 let db_stats t = t.stats
+let oracle t = t.oracle
 
 let col_stats t rel col =
   let table = Catalog.table_exn t.catalog t.q.Query.rels.(rel).Query.table in

@@ -48,6 +48,11 @@ val mode : t -> mode
 val db_stats : t -> Db_stats.t
 (** The statistics snapshot the estimator was built over. *)
 
+val oracle : t -> Oracle.t option
+(** The true-cardinality oracle the estimator was built with, if any. The
+    sensitivity analyzer uses it to rebuild an equivalent estimator with one
+    subset's estimate pinned to a perturbed value. *)
+
 val card : t -> Relset.t -> float
 (** Estimated cardinality of a connected relation subset; always >= 1. *)
 

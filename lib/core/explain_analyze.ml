@@ -4,8 +4,22 @@ module Plan = Rdb_plan.Plan
 module Explain = Rdb_plan.Explain
 module Executor = Rdb_exec.Executor
 
-let render ?trigger prepared plan (res : Executor.result) =
+let render ?trigger ?(bounds = false) prepared plan (res : Executor.result) =
   let q = Session.query prepared in
+  let bound_interval =
+    if not bounds then fun _ -> None
+    else begin
+      let session = Session.session prepared in
+      let ctx =
+        Rdb_verify.Card_bound.create
+          ~catalog:(Session.catalog session)
+          ~stats:(Session.stats session) q
+      in
+      fun set ->
+        let lo, hi = Rdb_verify.Card_bound.interval ctx set in
+        Some (Printf.sprintf "bounds=[%.0f, %.0f]" lo hi)
+    end
+  in
   (* Relation sets are unique within one plan tree, so they key both the
      executor's observations and the planned join algorithms. *)
   let obs_tbl : (Relset.t, Executor.node_obs) Hashtbl.t = Hashtbl.create 16 in
@@ -29,8 +43,9 @@ let render ?trigger prepared plan (res : Executor.result) =
        | None -> None)
   in
   let notes set =
+    let bound_note = Option.to_list (bound_interval set) in
     match Hashtbl.find_opt obs_tbl set with
-    | None -> [ "(not executed)" ]
+    | None -> bound_note @ [ "(not executed)" ]
     | Some o ->
       let actual = float_of_int o.Executor.obs_actual in
       let base =
@@ -49,7 +64,7 @@ let render ?trigger prepared plan (res : Executor.result) =
           [ Printf.sprintf "<= re-opt trigger (q-error %.0f)" q_err ]
         | Some _ | None -> []
       in
-      (base :: switch) @ trig
+      (base :: bound_note) @ switch @ trig
   in
   Explain.render ~notes q plan
   ^ Printf.sprintf

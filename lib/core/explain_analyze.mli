@@ -12,9 +12,13 @@ module Executor := Rdb_exec.Executor
 
 val render :
   ?trigger:Trigger.t ->
+  ?bounds:bool ->
   Session.prepared ->
   Plan.t ->
   Executor.result ->
   string
 (** [render ?trigger prepared plan res] — [res] must come from executing
-    [plan] (its observations are keyed by the plan's relation sets). *)
+    [plan] (its observations are keyed by the plan's relation sets).
+    [bounds] (default false) additionally prints the symbolic verifier's
+    sound cardinality interval ([Rdb_verify.Card_bound.interval]) next to
+    each node's estimated and actual rows. *)

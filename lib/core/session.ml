@@ -92,7 +92,7 @@ let bound_of p ~pessimistic =
         v')
   end
 
-let plan ?lint ?verify ?(pessimistic = false) ?log p ~mode =
+let plan ?lint ?verify ?sensitivity ?(pessimistic = false) ?log p ~mode =
   Trace.span "session.plan"
     ~attrs:[ ("query", p.q.Query.name) ]
     (fun () ->
@@ -102,13 +102,14 @@ let plan ?lint ?verify ?(pessimistic = false) ?log p ~mode =
           p.q
       in
       let plan, stats =
-        Optimizer.plan ?lint ?verify ~space:p.space
+        Optimizer.plan ?lint ?verify ?sensitivity ~space:p.space
           ~cost_params:p.session.cost_params ~catalog:p.session.catalog
           ~estimator p.q
       in
       (plan, stats, estimator))
 
-let plan_robust ?lint ?verify ?(pessimistic = false) ?log ~uncertainty p ~mode =
+let plan_robust ?lint ?verify ?sensitivity ?(pessimistic = false) ?log
+    ~uncertainty p ~mode =
   Trace.span "session.plan_robust"
     ~attrs:[ ("query", p.q.Query.name) ]
     (fun () ->
@@ -118,7 +119,7 @@ let plan_robust ?lint ?verify ?(pessimistic = false) ?log ~uncertainty p ~mode =
           p.q
       in
       let plan, stats =
-        Optimizer.plan_robust ?lint ?verify ~space:p.space
+        Optimizer.plan_robust ?lint ?verify ?sensitivity ~space:p.space
           ~cost_params:p.session.cost_params ~uncertainty
           ~catalog:p.session.catalog ~estimator p.q
       in

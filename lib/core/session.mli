@@ -54,6 +54,7 @@ val session : prepared -> t
 val plan :
   ?lint:bool ->
   ?verify:bool ->
+  ?sensitivity:bool ->
   ?pessimistic:bool ->
   ?log:Estimate_log.t ->
   prepared ->
@@ -65,6 +66,8 @@ val plan :
     [Rdb_analysis.Debug.Lint_failed]. [verify] (default: [RDB_VERIFY=1])
     likewise checks the plan's estimates against the symbolic verifier's
     sound cardinality bounds and raises [Rdb_verify.Debug.Verify_failed].
+    [sensitivity] (default: the [RDB_SENSITIVITY] environment check) runs
+    the plan-robustness analyzer's inline checks on the chosen plan.
     [pessimistic] (default false) clamps every estimate to the verifier's
     sound interval before costing — changing only plan choice, never
     results. *)
@@ -72,6 +75,7 @@ val plan :
 val plan_robust :
   ?lint:bool ->
   ?verify:bool ->
+  ?sensitivity:bool ->
   ?pessimistic:bool ->
   ?log:Estimate_log.t ->
   uncertainty:float ->

@@ -1,0 +1,52 @@
+(** Closed floating-point intervals, and the interval extension of every
+    {!Cost_model} operator.
+
+    Every cost formula in {!Cost_model} is monotone (non-decreasing) in each
+    of its cardinality inputs for non-negative parameters — a property the
+    test suite checks — so the tightest sound interval extension is corner
+    evaluation: the formula at all-lower-endpoints and at
+    all-upper-endpoints. The sensitivity analyzer relies on this to
+    propagate cardinality uncertainty through a plan tree and obtain exact
+    per-node cost intervals rather than over-approximations. *)
+
+type t = { lo : float; hi : float }
+
+val point : float -> t
+(** Degenerate interval [v, v]. *)
+
+val make : float -> float -> t
+(** Interval between the two values, in either order. *)
+
+val add : t -> t -> t
+
+val union : t -> t -> t
+(** Smallest interval containing both. *)
+
+val contains : t -> float -> bool
+(** Within the interval, with half-a-row absolute plus 1e-9 relative slack
+    (interval recomputation replays the optimizer's float expressions, which
+    may associate differently). *)
+
+val width : t -> float
+(** [hi - lo]. *)
+
+val ratio : t -> float
+(** [hi / lo] with both endpoints floored at one row — the Q-error-flavoured
+    spread of the interval. Always [>= 1]. *)
+
+val to_string : t -> string
+(** Compact rendering ["[lo, hi]"], integers when small, scientific
+    otherwise. *)
+
+(** {1 Interval cost operators}
+
+    Mirrors of the {!Cost_model} formulas; each result is the exact image of
+    the input box under the (monotone) formula. *)
+
+val seq_scan : Cost_model.params -> rows:t -> npreds:int -> t
+val index_scan : Cost_model.params -> matches:t -> npreds:int -> t
+val hash_join : Cost_model.params -> build:t -> probe:t -> out:t -> t
+val index_nested_loop : Cost_model.params -> outer:t -> out:t -> npreds:int -> t
+val nested_loop : Cost_model.params -> outer:t -> inner:t -> out:t -> t
+val sort : Cost_model.params -> rows:t -> t
+val merge_join : Cost_model.params -> outer:t -> inner:t -> out:t -> t

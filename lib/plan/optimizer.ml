@@ -46,6 +46,21 @@ let run_verify_hook ~verify ~catalog ~estimator q plan =
     | Some hook -> hook ~catalog ~estimator q plan
     | None -> ()
 
+let sensitivity_hook : lint_hook option ref = ref None
+
+let sensitivity_enabled ?sensitivity () =
+  match sensitivity with
+  | Some b -> b
+  | None -> (match Sys.getenv_opt "RDB_SENSITIVITY" with
+             | Some ("" | "0" | "false") | None -> false
+             | Some _ -> true)
+
+let run_sensitivity_hook ~sensitivity ~catalog ~estimator q plan =
+  if sensitivity_enabled ?sensitivity () then
+    match !sensitivity_hook with
+    | Some hook -> hook ~catalog ~estimator q plan
+    | None -> ()
+
 (* Cartesian products are unsupported (as in the paper's workload); a
    disconnected join graph is a query bug, so name the components to make
    the report actionable. *)
@@ -207,12 +222,13 @@ let dp ?space ?(cost_params = Cost_model.default) ~catalog ~estimator (q : Query
       plan_ms = elapsed;
     } )
 
-let plan ?lint ?verify ?space ?cost_params ~catalog ~estimator q =
+let plan ?lint ?verify ?sensitivity ?space ?cost_params ~catalog ~estimator q =
   let best, stats = dp ?space ?cost_params ~catalog ~estimator q in
   match Hashtbl.find_opt best (Relset.full (Query.n_rels q)) with
   | Some p ->
     run_lint_hook ~lint ~catalog ~estimator q p;
     run_verify_hook ~verify ~catalog ~estimator q p;
+    run_sensitivity_hook ~sensitivity ~catalog ~estimator q p;
     (p, stats)
   | None -> invalid_arg "Optimizer: no plan found for full relation set"
 
@@ -324,8 +340,8 @@ let dp_robust ?space ?(cost_params = Cost_model.default) ~uncertainty ~catalog
       plan_ms = elapsed;
     } )
 
-let plan_robust ?lint ?verify ?space ?cost_params ~uncertainty ~catalog
-    ~estimator q =
+let plan_robust ?lint ?verify ?sensitivity ?space ?cost_params ~uncertainty
+    ~catalog ~estimator q =
   let best, stats =
     dp_robust ?space ?cost_params ~uncertainty ~catalog ~estimator q
   in
@@ -333,6 +349,7 @@ let plan_robust ?lint ?verify ?space ?cost_params ~uncertainty ~catalog
   | Some (p, _) ->
     run_lint_hook ~lint ~catalog ~estimator q p;
     run_verify_hook ~verify ~catalog ~estimator q p;
+    run_sensitivity_hook ~sensitivity ~catalog ~estimator q p;
     (p, stats)
   | None -> invalid_arg "Optimizer: no robust plan found"
 

@@ -31,9 +31,20 @@ val verify_hook : lint_hook option ref
     the [?verify] argument or [RDB_VERIFY=1]; installed by
     [Rdb_verify.Debug.install]. Runs after {!lint_hook}. *)
 
+val sensitivity_hook : lint_hook option ref
+(** Third analysis layer: the plan-robustness analyzer
+    ([Rdb_analysis.Sensitivity]) — cardinality intervals propagated through
+    the cost model, a static prediction of the re-optimization trigger, and
+    a consistency recomputation of every node's cost. Enabled by the
+    [?sensitivity] argument, or by [RDB_SENSITIVITY] set to anything but
+    [0]/[false] (a numeric value is read as the Q-error envelope factor,
+    e.g. [RDB_SENSITIVITY=32]); installed by [Rdb_analysis.Debug.install].
+    Runs after {!verify_hook}. *)
+
 val plan :
   ?lint:bool ->
   ?verify:bool ->
+  ?sensitivity:bool ->
   ?space:Search_space.t ->
   ?cost_params:Rdb_cost.Cost_model.params ->
   catalog:Catalog.t ->
@@ -52,6 +63,7 @@ val plan :
 val plan_robust :
   ?lint:bool ->
   ?verify:bool ->
+  ?sensitivity:bool ->
   ?space:Search_space.t ->
   ?cost_params:Rdb_cost.Cost_model.params ->
   uncertainty:float ->

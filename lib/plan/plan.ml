@@ -67,3 +67,36 @@ let algo_name = function
   | Index_nl _ -> "Index Nested Loop"
   | Nested_loop -> "Nested Loop"
   | Merge_join -> "Merge Join"
+
+let rec same_shape a b =
+  match (a, b) with
+  | Scan s1, Scan s2 -> s1.scan_rel = s2.scan_rel && s1.access = s2.access
+  | Join j1, Join j2 ->
+    j1.algo = j2.algo && same_shape j1.outer j2.outer
+    && same_shape j1.inner j2.inner
+  | Scan _, Join _ | Join _, Scan _ -> false
+
+let shape q t =
+  let buf = Buffer.create 64 in
+  let rec go = function
+    | Scan s ->
+      Buffer.add_string buf (Query.rel_alias q s.scan_rel);
+      (match s.access with
+       | Seq_scan -> ()
+       | Index_scan { col; _ } -> Buffer.add_string buf (Printf.sprintf "@c%d" col))
+    | Join j ->
+      Buffer.add_char buf '(';
+      Buffer.add_string buf
+        (match j.algo with
+         | Hash_join -> "HJ"
+         | Index_nl _ -> "INL"
+         | Nested_loop -> "NL"
+         | Merge_join -> "MJ");
+      Buffer.add_char buf ' ';
+      go j.outer;
+      Buffer.add_char buf ' ';
+      go j.inner;
+      Buffer.add_char buf ')'
+  in
+  go t;
+  Buffer.contents buf

@@ -59,3 +59,14 @@ val scans : t -> scan list
 val n_joins : t -> int
 
 val algo_name : join_algo -> string
+
+val same_shape : t -> t -> bool
+(** Structural equality of the physical plan choice — relations, access
+    paths, join algorithms and tree shape — ignoring the recorded estimates
+    and costs. The sensitivity analyzer uses this to decide whether a
+    perturbed estimate changed the DP-optimal plan. *)
+
+val shape : Query.t -> t -> string
+(** Compact s-expression of the plan choice, e.g.
+    [(HJ (INL t mk@c1) ci)] — the same equivalence as {!same_shape},
+    rendered for reports. *)

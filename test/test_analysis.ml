@@ -350,6 +350,315 @@ let test_rdb_lint_env_enables_hook () =
       check Alcotest.bool "planned under RDB_LINT=1" true
         (Relset.equal (Plan.rel_set plan) (Relset.full 2)))
 
+(* ---- Sensitivity: interval abstract interpretation of the cost model ---- *)
+
+module Sensitivity = Rdb_analysis.Sensitivity
+module Interval = Rdb_cost.Interval
+module Cost_model = Rdb_cost.Cost_model
+module Oracle = Rdb_card.Oracle
+module Card_bound = Rdb_verify.Card_bound
+module Executor = Rdb_exec.Executor
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Cardinalities as quarter-integers, so property inputs cover fractional
+   estimates without wandering into float corner cases. *)
+let card_arb = QCheck.map (fun i -> float_of_int i /. 4.0) QCheck.(int_range 0 4_000_000)
+let delta_arb = QCheck.map (fun i -> float_of_int i /. 4.0) QCheck.(int_range 0 1_000_000)
+
+let ( <=. ) x y = x <= y +. (1e-9 *. Float.max 1.0 (Float.abs y))
+
+(* The property interval corner evaluation rests on: every operator cost is
+   monotone non-decreasing in every cardinality input, checked one input at
+   a time so a single non-monotone argument cannot hide behind the others. *)
+let prop_cost_model_monotone =
+  QCheck.Test.make ~name:"cost model monotone in every input cardinality"
+    ~count:1000
+    QCheck.(pair (pair (pair card_arb card_arb) (pair card_arb delta_arb))
+              (int_range 0 5))
+    (fun (((a, b), (c, d)), npreds) ->
+      let cp = Cost_model.default in
+      Cost_model.seq_scan cp ~rows:a ~npreds
+      <=. Cost_model.seq_scan cp ~rows:(a +. d) ~npreds
+      && Cost_model.index_scan cp ~matches:a ~npreds
+         <=. Cost_model.index_scan cp ~matches:(a +. d) ~npreds
+      && Cost_model.sort cp ~rows:a <=. Cost_model.sort cp ~rows:(a +. d)
+      && Cost_model.hash_join cp ~build:a ~probe:b ~out:c
+         <=. Cost_model.hash_join cp ~build:(a +. d) ~probe:b ~out:c
+      && Cost_model.hash_join cp ~build:a ~probe:b ~out:c
+         <=. Cost_model.hash_join cp ~build:a ~probe:(b +. d) ~out:c
+      && Cost_model.hash_join cp ~build:a ~probe:b ~out:c
+         <=. Cost_model.hash_join cp ~build:a ~probe:b ~out:(c +. d)
+      && Cost_model.nested_loop cp ~outer:a ~inner:b ~out:c
+         <=. Cost_model.nested_loop cp ~outer:(a +. d) ~inner:b ~out:c
+      && Cost_model.nested_loop cp ~outer:a ~inner:b ~out:c
+         <=. Cost_model.nested_loop cp ~outer:a ~inner:(b +. d) ~out:c
+      && Cost_model.nested_loop cp ~outer:a ~inner:b ~out:c
+         <=. Cost_model.nested_loop cp ~outer:a ~inner:b ~out:(c +. d)
+      && Cost_model.merge_join cp ~outer:a ~inner:b ~out:c
+         <=. Cost_model.merge_join cp ~outer:(a +. d) ~inner:b ~out:c
+      && Cost_model.merge_join cp ~outer:a ~inner:b ~out:c
+         <=. Cost_model.merge_join cp ~outer:a ~inner:(b +. d) ~out:c
+      && Cost_model.merge_join cp ~outer:a ~inner:b ~out:c
+         <=. Cost_model.merge_join cp ~outer:a ~inner:b ~out:(c +. d)
+      && Cost_model.index_nested_loop cp ~outer:a ~out:c ~npreds
+         <=. Cost_model.index_nested_loop cp ~outer:(a +. d) ~out:c ~npreds
+      && Cost_model.index_nested_loop cp ~outer:a ~out:c ~npreds
+         <=. Cost_model.index_nested_loop cp ~outer:a ~out:(c +. d) ~npreds)
+
+(* The interval extension must bracket the point evaluation for any point
+   inside the input box. *)
+let prop_interval_brackets_point =
+  QCheck.Test.make ~name:"interval cost brackets any point inside the box"
+    ~count:1000
+    QCheck.(pair (pair (pair card_arb delta_arb) (pair card_arb delta_arb))
+              (pair card_arb delta_arb))
+    (fun (((b_lo, b_d), (p_lo, p_d)), (o_lo, o_d)) ->
+      let cp = Cost_model.default in
+      let mid lo d = lo +. (d /. 2.0) in
+      let iv =
+        Interval.hash_join cp
+          ~build:(Interval.make b_lo (b_lo +. b_d))
+          ~probe:(Interval.make p_lo (p_lo +. p_d))
+          ~out:(Interval.make o_lo (o_lo +. o_d))
+      in
+      Interval.contains iv
+        (Cost_model.hash_join cp ~build:(mid b_lo b_d) ~probe:(mid p_lo p_d)
+           ~out:(mid o_lo o_d)))
+
+let test_interval_basics () =
+  let iv = Interval.make 10.0 2.0 in
+  check (Alcotest.float 0.0) "make normalizes lo" 2.0 iv.Interval.lo;
+  check (Alcotest.float 0.0) "make normalizes hi" 10.0 iv.Interval.hi;
+  check Alcotest.bool "contains endpoint" true (Interval.contains iv 10.0);
+  check Alcotest.bool "contains interior" true (Interval.contains iv 5.0);
+  check Alcotest.bool "excludes outside" false (Interval.contains iv 11.0);
+  check (Alcotest.float 1e-9) "width" 8.0 (Interval.width iv);
+  check (Alcotest.float 1e-9) "ratio" 5.0 (Interval.ratio iv);
+  let u = Interval.union iv (Interval.point 20.0) in
+  check (Alcotest.float 0.0) "union hi" 20.0 u.Interval.hi;
+  check Alcotest.string "to_string" "[2, 10]" (Interval.to_string iv)
+
+let test_plan_shape_and_same_shape () =
+  let _cat, q, _estimator, j = join_fixture () in
+  let p = Plan.Join j in
+  check Alcotest.bool "same_shape reflexive" true (Plan.same_shape p p);
+  let other_algo =
+    match j.Plan.algo with
+    | Plan.Hash_join -> Plan.Nested_loop
+    | _ -> Plan.Hash_join
+  in
+  check Alcotest.bool "algo change detected" false
+    (Plan.same_shape p (Plan.Join { j with Plan.algo = other_algo }));
+  check Alcotest.bool "cost change ignored" true
+    (Plan.same_shape p (Plan.Join { j with Plan.join_cost = 1e9 }));
+  let s = Plan.shape q p in
+  check Alcotest.bool "shape names both aliases" true
+    (contains s ~needle:"d" && contains s ~needle:"f")
+
+(* Fed the plan's own estimates as degenerate intervals, the interpreter
+   must reproduce the recorded costs exactly: point envelope in, point
+   interval out, and zero mismatches on optimizer-produced plans. *)
+let test_point_envelope_consistent () =
+  let catalog = Lazy.force imdb in
+  let session = Session.create catalog in
+  Session.analyze session;
+  List.iter
+    (fun name ->
+      let q = Rdb_imdb.Job_queries.find catalog name in
+      let prepared = Session.prepare session q in
+      let plan, _, est = Session.plan prepared ~mode:Estimator.Default in
+      let envelope _ ~est = (est, est) in
+      let report =
+        Sensitivity.analyze ~envelope ~corner_replans:false ~catalog
+          ~estimator:est q plan
+      in
+      check Alcotest.int (name ^ ": no cost mismatches") 0
+        (List.length report.Sensitivity.cost_mismatches);
+      let c = Plan.cost plan in
+      let tol = 1e-6 *. Float.max 1.0 c in
+      check Alcotest.bool (name ^ ": root interval collapses to plan cost")
+        true
+        (Float.abs (report.Sensitivity.root_cost.Interval.lo -. c) <= tol
+         && Float.abs (report.Sensitivity.root_cost.Interval.hi -. c) <= tol);
+      check Alcotest.bool (name ^ ": no error findings") false
+        (Finding.has_errors (Sensitivity.findings q report)))
+    [ "1a"; "6d"; "16b"; "18a"; "25c"; "30a" ]
+
+let test_cost_mismatch_detected () =
+  let cat, q, estimator, j = join_fixture () in
+  let corrupted = Plan.Join { j with Plan.join_cost = j.Plan.join_cost *. 2.0 } in
+  let fs =
+    Sensitivity.check ~corner_replans:false ~catalog:cat ~estimator q corrupted
+  in
+  check Alcotest.bool "interval-cost-mismatch error" true
+    (has_error "interval-cost-mismatch" fs);
+  (* ... and the uncorrupted plan passes the same check. *)
+  let fs =
+    Sensitivity.check ~corner_replans:false ~catalog:cat ~estimator q
+      (Plan.Join j)
+  in
+  check Alcotest.bool "clean plan has no errors" false (Finding.has_errors fs)
+
+(* With the oracle's true cardinalities as degenerate interval endpoints,
+   the static prediction must reproduce Reopt.find_trigger exactly,
+   tie-break included. *)
+let test_predict_trigger_matches_find_trigger () =
+  let catalog = Lazy.force imdb in
+  let session = Session.create catalog in
+  Session.analyze session;
+  List.iter
+    (fun name ->
+      let q = Rdb_imdb.Job_queries.find catalog name in
+      let prepared = Session.prepare session q in
+      let plan, _, _ = Session.plan prepared ~mode:Estimator.Default in
+      let oracle = Session.oracle prepared in
+      let envelope =
+        Sensitivity.point_envelope (fun s ->
+            float_of_int (Oracle.true_card oracle s))
+      in
+      let static_pred =
+        Sensitivity.predict_trigger ~envelope ~threshold:32.0 q plan
+      in
+      match (static_pred, Reopt.find_trigger prepared plan (Trigger.create 32.0)) with
+      | None, None -> ()
+      | Some p, Some (_, set, _, _) ->
+        check Alcotest.bool (name ^ ": same join selected") true
+          (Relset.equal p.Sensitivity.pred_set set);
+        check Alcotest.bool (name ^ ": point interval is certain") true
+          p.Sensitivity.pred_certain
+      | Some _, None -> Alcotest.failf "%s: static predicts, dynamic silent" name
+      | None, Some _ -> Alcotest.failf "%s: dynamic fires, static silent" name)
+    [ "1a"; "6d"; "16b"; "18a"; "25c"; "30a" ]
+
+(* Acceptance: across the whole workload at threshold 32, the static
+   prediction (true cardinalities as interval endpoints, no execution on
+   the analyzer's side) must agree with the dynamic trigger — the first
+   join Reopt.run actually materializes — on at least 80% of the queries
+   it can run to completion. *)
+let test_static_prediction_acceptance () =
+  let catalog = Lazy.force imdb in
+  let session = Session.create catalog in
+  Session.analyze session;
+  let queries = Rdb_imdb.Job_queries.all catalog in
+  let agree = ref 0 and total = ref 0 in
+  List.iter
+    (fun (q : Query.t) ->
+      let prepared = Session.prepare session q in
+      let plan, _, _ = Session.plan prepared ~mode:Estimator.Default in
+      let oracle = Session.oracle prepared in
+      let envelope =
+        Sensitivity.point_envelope (fun s ->
+            float_of_int (Oracle.true_card oracle s))
+      in
+      let static_pred =
+        Sensitivity.predict_trigger ~envelope ~threshold:32.0 q plan
+      in
+      match
+        Reopt.run ~work_budget:20_000_000 ~initial:prepared session
+          ~trigger:(Trigger.create 32.0) ~mode:Estimator.Default q
+      with
+      | outcome ->
+        incr total;
+        let dynamic =
+          match outcome.Reopt.steps with
+          | [] -> None
+          | s :: _ -> Some s.Reopt.materialized_set
+        in
+        (match (static_pred, dynamic) with
+         | None, None -> incr agree
+         | Some p, Some set when Relset.equal p.Sensitivity.pred_set set ->
+           incr agree
+         | _ -> ())
+      | exception Executor.Work_budget_exceeded _ -> ())
+    queries;
+  check Alcotest.bool
+    (Printf.sprintf "agreement %d/%d >= 80%%" !agree !total)
+    true
+    (!total >= 60 && float_of_int !agree >= 0.8 *. float_of_int !total)
+
+(* Corner replans: joins whose estimate, moved inside the envelope, flips
+   the DP-optimal plan — and the blind-spot split at the trigger
+   threshold. *)
+let test_corner_replans_flag_fragile_joins () =
+  let catalog = Lazy.force imdb in
+  let session = Session.create catalog in
+  Session.analyze session;
+  let q = Rdb_imdb.Job_queries.find catalog "16b" in
+  let prepared = Session.prepare session q in
+  let plan, _, est = Session.plan prepared ~mode:Estimator.Default in
+  let envelope =
+    let ctx = Card_bound.create ~catalog ~stats:(Session.stats session) q in
+    Sensitivity.intersect
+      (Sensitivity.q_envelope 64.0)
+      (Sensitivity.of_intervals (Card_bound.interval ctx))
+  in
+  let report =
+    Sensitivity.analyze ~envelope ~threshold:32.0 ~corner_replans:true
+      ~space:(Session.space prepared) ~catalog ~estimator:est q plan
+  in
+  let flips =
+    List.filter
+      (fun (f : Sensitivity.fragility) -> f.Sensitivity.frag_flips <> None)
+      report.Sensitivity.fragilities
+  in
+  check Alcotest.bool "some join flips the plan" true (flips <> []);
+  let fs = Sensitivity.findings q report in
+  check Alcotest.bool "fragile-join reported" true (has_warning "fragile-join" fs);
+  check Alcotest.bool "blind spot reported" true
+    (has_warning "reopt-blind-spot" fs);
+  (* fragile vs blind-spot is exactly the trigger-visibility split *)
+  List.iter
+    (fun (f : Sensitivity.fragility) ->
+      check Alcotest.bool "trips iff worst q-error over threshold"
+        (f.Sensitivity.frag_q_error >= 32.0) f.Sensitivity.frag_trips)
+    flips
+
+let test_robust_plan_reports_robust () =
+  let cat = small_db () in
+  let q = bind cat (join_sql ^ " AND d.id = 7") in
+  let plan, estimator = plan_with_estimator cat q in
+  (* Two relations, one join order dominated by the index path: a tight
+     envelope neither trips the trigger nor flips the plan. *)
+  let report =
+    Sensitivity.analyze ~envelope:(Sensitivity.q_envelope 1.5) ~threshold:32.0
+      ~corner_replans:true ~catalog:cat ~estimator q plan
+  in
+  let fs = Sensitivity.findings q report in
+  check Alcotest.(list string) "only plan-robust" [ "plan-robust" ] (codes fs)
+
+let test_rdb_sensitivity_env () =
+  let set v = Unix.putenv "RDB_SENSITIVITY" v in
+  let finally () = set "0" in
+  Fun.protect ~finally (fun () ->
+      set "0";
+      check Alcotest.(option (float 0.0)) "0 disables" None
+        (Debug.sensitivity_threshold ());
+      set "1";
+      check Alcotest.(option (float 0.0)) "1 means default 32" (Some 32.0)
+        (Debug.sensitivity_threshold ());
+      set "true";
+      check Alcotest.(option (float 0.0)) "true means default 32" (Some 32.0)
+        (Debug.sensitivity_threshold ());
+      set "8";
+      check Alcotest.(option (float 0.0)) "numeric is the envelope factor"
+        (Some 8.0)
+        (Debug.sensitivity_threshold ());
+      set "banana";
+      check Alcotest.(option (float 0.0)) "garbage falls back to 32"
+        (Some 32.0)
+        (Debug.sensitivity_threshold ());
+      (* With the hook enabled, clean plans pass through without raising. *)
+      set "8";
+      let cat = small_db () in
+      let q = bind cat join_sql in
+      let session = Session.create cat in
+      Session.analyze session;
+      let prepared = Session.prepare session q in
+      let plan, _, _ = Session.plan prepared ~mode:Estimator.Default in
+      check Alcotest.bool "planned under RDB_SENSITIVITY" true
+        (Relset.equal (Plan.rel_set plan) (Relset.full 2)))
+
 let () =
   Alcotest.run "rdb_analysis"
     [
@@ -394,5 +703,27 @@ let () =
             test_reopt_lints_clean;
           Alcotest.test_case "RDB_LINT env enables hook" `Quick
             test_rdb_lint_env_enables_hook;
+        ] );
+      ( "sensitivity",
+        [
+          qtest prop_cost_model_monotone;
+          qtest prop_interval_brackets_point;
+          Alcotest.test_case "interval basics" `Quick test_interval_basics;
+          Alcotest.test_case "plan shape and same_shape" `Quick
+            test_plan_shape_and_same_shape;
+          Alcotest.test_case "point envelope reproduces recorded costs"
+            `Quick test_point_envelope_consistent;
+          Alcotest.test_case "cost mismatch detected" `Quick
+            test_cost_mismatch_detected;
+          Alcotest.test_case "static trigger matches find_trigger" `Quick
+            test_predict_trigger_matches_find_trigger;
+          Alcotest.test_case "static vs dynamic trigger agreement >= 80%"
+            `Quick test_static_prediction_acceptance;
+          Alcotest.test_case "corner replans flag fragile joins" `Quick
+            test_corner_replans_flag_fragile_joins;
+          Alcotest.test_case "robust plan reports robust" `Quick
+            test_robust_plan_reports_robust;
+          Alcotest.test_case "RDB_SENSITIVITY env switch" `Quick
+            test_rdb_sensitivity_env;
         ] );
     ]

@@ -361,6 +361,18 @@ let test_explain_analyze_render () =
   check Alcotest.bool "q-error annotated" true (contains "q-error=");
   check Alcotest.bool "trigger join flagged" true (contains "<= re-opt trigger");
   check Alcotest.bool "totals footer" true (contains "adaptive switches");
+  check Alcotest.bool "bounds off by default" false (contains "bounds=[");
+  (* --bounds column: the verifier's sound interval next to est/actual *)
+  let out_b =
+    Rdb_core.Explain_analyze.render ~bounds:true
+      ~trigger:(Trigger.create 32.0) prepared plan res
+  in
+  let contains_b needle =
+    let n = String.length needle and m = String.length out_b in
+    let rec go i = i + n <= m && (String.sub out_b i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "bounds annotated" true (contains_b "bounds=[");
   (* the flagged join is the one find_trigger selects *)
   (match Reopt.find_trigger prepared plan (Trigger.create 32.0) with
    | None -> Alcotest.fail "6d default estimates should trip at 32x"
