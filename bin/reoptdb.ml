@@ -13,6 +13,12 @@
      reoptdb fragility [--json p.json]  interval-sensitivity sweep: which
                                         estimates each plan's optimality and
                                         re-opt trigger depend on
+     reoptdb serve --port 7878          long-running query service: SQL over
+                                        a line-oriented socket, worker-domain
+                                        pool, CQNF-keyed plan cache
+     reoptdb bench-serve [--json ...]   closed-loop latency/QPS benchmark of
+                                        the service on a warmed mixed JOB
+                                        workload (p50/p95, hit rate)
      reoptdb json-check report.json     strictly validate a JSON report
 
    Set RDB_TRACE=stderr (or =path for JSON-lines) to trace every pipeline
@@ -817,6 +823,258 @@ let cmd_fragility =
     Term.(const run $ frag_scale_arg $ seed_arg $ envelope_arg
           $ no_bounds_arg $ corner_limit_arg $ queries_arg $ json_arg)
 
+(* ---- serve ---- *)
+
+let serve_jobs_arg =
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker domains executing queries (0 = one per core).")
+
+let cache_arg =
+  Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N"
+         ~doc:"Plan cache capacity (LRU entries).")
+
+let serve_reopt_arg =
+  Arg.(value & opt (some float) None & info [ "reopt" ] ~docv:"THRESHOLD"
+         ~doc:"Enable mid-query re-optimization at the given Q-error \
+               threshold; improved plans are written back to the cache.")
+
+let revalidate_arg =
+  Arg.(value & flag & info [ "revalidate" ]
+         ~doc:"On stale cache entries, try proving the cached plan still \
+               inside the verifier's sound cardinality bounds before \
+               invalidating it.")
+
+let service_of ~scale ~seed ~jobs ~cache ~reopt ~revalidate =
+  let jobs = if jobs = 0 then Rdb_util.Pool.default_jobs () else jobs in
+  let catalog, session = make_session ~scale ~seed in
+  let config =
+    {
+      Rdb_server.Service.default_config with
+      jobs;
+      cache_capacity = cache;
+      reopt;
+      revalidate;
+    }
+  in
+  (jobs, catalog, Rdb_server.Service.create ~config session)
+
+let cmd_serve =
+  let port_arg =
+    Arg.(value & opt int 7878 & info [ "port" ] ~docv:"PORT"
+           ~doc:"TCP port of the line-oriented SQL frontend.")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+           ~doc:"Address to bind.")
+  in
+  let run scale seed jobs cache reopt revalidate host port =
+    let jobs, _catalog, service =
+      service_of ~scale ~seed ~jobs ~cache ~reopt ~revalidate
+    in
+    Printf.printf "reoptdb: listening on %s:%d (scale=%g jobs=%d cache=%d)\n%!"
+      host port scale jobs cache;
+    Rdb_server.Frontend.serve ~host ~port service;
+    Rdb_server.Service.shutdown service;
+    Printf.printf "reoptdb: server stopped\n%!";
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-running query service: SQL over a line-oriented \
+          socket, a worker-domain pool with per-domain session snapshots, \
+          and an LRU plan cache keyed on the CQNF canonical form (hits \
+          skip DPccp entirely). Commands: \\\\cache, \\\\metrics, \
+          \\\\refresh, \\\\quit, \\\\shutdown.")
+    Term.(const run $ scale_arg $ seed_arg $ serve_jobs_arg $ cache_arg
+          $ serve_reopt_arg $ revalidate_arg $ host_arg $ port_arg)
+
+(* ---- bench-serve ---- *)
+
+let cmd_bench_serve =
+  let module Service = Rdb_server.Service in
+  let module Metrics = Rdb_obs.Metrics in
+  let module Query_gen = Rdb_verify.Query_gen in
+  let module J = Rdb_obs.Json in
+  let requests_arg =
+    Arg.(value & opt int 500 & info [ "requests" ] ~docv:"N"
+           ~doc:"Measured requests (after the warm-up pass).")
+  in
+  let clients_arg =
+    Arg.(value & opt int 0 & info [ "clients" ] ~docv:"C"
+           ~doc:"Closed-loop client domains (0 = same as --jobs).")
+  in
+  let variants_arg =
+    Arg.(value & opt float 0.5 & info [ "variants" ] ~docv:"FRACTION"
+           ~doc:"Fraction of measured requests sent as alias-renamed \
+                 variants of their workload query (cache-equivalent but \
+                 syntactically different).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
+           ~doc:"Write the latency/QPS report as JSON to PATH \
+                 (the BENCH_serve.json perf-trajectory artifact).")
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.0
+    else sorted.(min (n - 1) (max 0 (int_of_float (ceil (p *. float_of_int n)) - 1)))
+  in
+  let run scale seed jobs cache reopt revalidate requests clients variants
+      json_path =
+    let jobs, catalog, service =
+      service_of ~scale ~seed ~jobs ~cache ~reopt ~revalidate
+    in
+    let clients = if clients = 0 then jobs else clients in
+    let workload = Array.of_list (Rdb_imdb.Job_queries.all catalog) in
+    (* Warm pass: every workload query once, filling the cache. *)
+    let wt0 = Unix.gettimeofday () in
+    Array.iter
+      (fun q ->
+        match Service.query_bound service q with
+        | Ok _ -> ()
+        | Error e ->
+          Printf.eprintf "bench-serve: warm %s failed: %s\n%!"
+            q.Rdb_query.Query.name e)
+      workload;
+    let warm_ms = (Unix.gettimeofday () -. wt0) *. 1000.0 in
+    let before = Metrics.snapshot () in
+    (* Measured pass: [clients] closed-loop client domains, each drawing a
+       seeded stream of workload queries — a [variants] fraction of them
+       alias-renamed, so equivalent but syntactically different — and
+       awaiting each response before sending the next. *)
+    let per_client = max 1 (requests / max 1 clients) in
+    let mt0 = Unix.gettimeofday () in
+    let client c =
+      let prng = Rdb_util.Prng.create (seed + (1000 * (c + 1))) in
+      let lat = Array.make per_client 0.0 in
+      let errors = ref 0 in
+      for i = 0 to per_client - 1 do
+        let q = workload.(Rdb_util.Prng.int prng (Array.length workload)) in
+        let q =
+          if Rdb_util.Prng.float prng 1.0 < variants then
+            Query_gen.rename_aliases q
+          else q
+        in
+        let t0 = Unix.gettimeofday () in
+        (match Service.query_bound service q with
+         | Ok _ -> ()
+         | Error _ -> incr errors);
+        lat.(i) <- (Unix.gettimeofday () -. t0) *. 1000.0
+      done;
+      (lat, !errors)
+    in
+    let results =
+      if clients = 1 then [ client 0 ]
+      else
+        List.map Domain.join
+          (List.init clients (fun c -> Domain.spawn (fun () -> client c)))
+    in
+    let wall_ms = (Unix.gettimeofday () -. mt0) *. 1000.0 in
+    let after = Metrics.snapshot () in
+    Service.shutdown service;
+    let lats =
+      Array.concat (List.map fst results)
+    in
+    Array.sort compare lats;
+    let errors = List.fold_left (fun acc (_, e) -> acc + e) 0 results in
+    let measured = Array.length lats in
+    let dc key = Metrics.counter after key - Metrics.counter before key in
+    let hits = dc "cache.hits" and misses = dc "cache.misses" in
+    let hit_rate =
+      if hits + misses = 0 then 0.0
+      else float_of_int hits /. float_of_int (hits + misses)
+    in
+    let qps = float_of_int measured /. (wall_ms /. 1000.0) in
+    let mean =
+      if measured = 0 then 0.0
+      else Array.fold_left ( +. ) 0.0 lats /. float_of_int measured
+    in
+    let p50 = percentile lats 0.50
+    and p95 = percentile lats 0.95
+    and p99 = percentile lats 0.99 in
+    Printf.printf
+      "bench-serve: scale=%g seed=%d jobs=%d clients=%d cache=%d reopt=%s\n"
+      scale seed jobs clients cache
+      (match reopt with None -> "off" | Some t -> Printf.sprintf "%g" t);
+    Printf.printf "warm: %d queries in %.0fms\n" (Array.length workload)
+      warm_ms;
+    Printf.printf
+      "measured: %d requests | hit rate %.1f%% (%d hits, %d misses) | %d \
+       errors\n"
+      measured (100.0 *. hit_rate) hits misses errors;
+    Printf.printf
+      "latency: p50 %.2fms | p95 %.2fms | p99 %.2fms | mean %.2fms | %.0f \
+       qps\n"
+      p50 p95 p99 mean qps;
+    Printf.printf
+      "planning skipped on hits: dp_pairs +%d, plans built +%d (misses \
+       only)\n"
+      (dc "plan.dp_pairs") (dc "plan.built");
+    (match json_path with
+     | None -> ()
+     | Some path ->
+       let doc =
+         J.Obj
+           [ ("report", J.Str "bench-serve");
+             ("scale", J.Float scale);
+             ("seed", J.Int seed);
+             ("jobs", J.Int jobs);
+             ("clients", J.Int clients);
+             ("cache_capacity", J.Int cache);
+             ( "reopt",
+               match reopt with None -> J.Null | Some t -> J.Float t );
+             ("variants", J.Float variants);
+             ( "warm",
+               J.Obj
+                 [ ("queries", J.Int (Array.length workload));
+                   ("ms", J.Float warm_ms) ] );
+             ( "measured",
+               J.Obj
+                 [ ("requests", J.Int measured);
+                   ("errors", J.Int errors);
+                   ("hits", J.Int hits);
+                   ("misses", J.Int misses);
+                   ("hit_rate", J.Float hit_rate);
+                   ("p50_ms", J.Float p50);
+                   ("p95_ms", J.Float p95);
+                   ("p99_ms", J.Float p99);
+                   ("mean_ms", J.Float mean);
+                   ("wall_ms", J.Float wall_ms);
+                   ("qps", J.Float qps);
+                   ("dp_pairs", J.Int (dc "plan.dp_pairs"));
+                   ("plans_built", J.Int (dc "plan.built"));
+                   ("evictions", J.Int (dc "cache.evictions"));
+                   ("invalidations", J.Int (dc "cache.invalidations"));
+                   ("writebacks", J.Int (dc "cache.writebacks")) ] );
+             ("totals", Metrics.to_json after) ]
+       in
+       let oc = open_out path in
+       output_string oc (J.to_string doc);
+       output_char oc '\n';
+       close_out oc;
+       Printf.eprintf "bench-serve report written to %s\n%!" path);
+    if hit_rate < 0.9 && requests >= 100 then begin
+      Printf.eprintf
+        "bench-serve: warmed hit rate %.1f%% below the 90%% bar\n%!"
+        (100.0 *. hit_rate);
+      1
+    end
+    else 0
+  in
+  Cmd.v
+    (Cmd.info "bench-serve"
+       ~doc:
+         "Closed-loop benchmark of the query service: warm the plan cache \
+          with one pass over the 113-query JOB workload, then drive N \
+          mixed requests (repeats and alias-renamed variants) from C \
+          client domains and report p50/p95/p99 latency, QPS, cache hit \
+          rate, and the dp_pairs delta proving DPccp was skipped on hits. \
+          Exits non-zero when the warmed hit rate falls below 90%.")
+    Term.(const run $ scale_arg $ seed_arg $ serve_jobs_arg $ cache_arg
+          $ serve_reopt_arg $ revalidate_arg $ requests_arg $ clients_arg
+          $ variants_arg $ json_arg)
+
 (* ---- json-check ---- *)
 
 let cmd_json_check =
@@ -869,4 +1127,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ cmd_queries; cmd_sql; cmd_explain; cmd_run; cmd_experiment;
-            cmd_lint; cmd_verify; cmd_fragility; cmd_json_check ]))
+            cmd_lint; cmd_verify; cmd_fragility; cmd_serve; cmd_bench_serve;
+            cmd_json_check ]))

@@ -38,12 +38,19 @@ let catalog t = t.catalog
 let stats t = t.stats
 let cost_params t = t.cost_params
 
+(* ANALYZE moves the statistics a plan was costed against, so it counts as
+   a modification of the table: the server's plan cache keys its staleness
+   check on these counters. *)
 let analyze ?buckets ?mcv_slots t =
-  Analyze.all ?buckets ?mcv_slots t.catalog t.stats
+  Analyze.all ?buckets ?mcv_slots t.catalog t.stats;
+  List.iter
+    (fun tbl -> Catalog.touch t.catalog (Table.name tbl))
+    (Catalog.tables t.catalog)
 
 let analyze_table t name =
   let tbl = Catalog.table_exn t.catalog name in
-  Db_stats.set t.stats ~table:name (Analyze.table tbl)
+  Db_stats.set t.stats ~table:name (Analyze.table tbl);
+  Catalog.touch t.catalog name
 
 let fresh_temp_name t =
   t.temp_counter <- t.temp_counter + 1;

@@ -1,0 +1,167 @@
+module Metrics = Rdb_obs.Metrics
+module Json = Rdb_obs.Json
+
+(* Line-oriented SQL-over-socket frontend.
+
+   One request per line. Plain lines are SQL; lines starting with a
+   backslash are commands:
+
+     \quit       close this connection
+     \cache      one-line cache statistics
+     \metrics    the whole metrics registry as one JSON line
+     \refresh    re-ANALYZE every table (bumps every modification counter)
+     \shutdown   stop accepting, drain, and return from [serve]
+
+   Responses are single lines:
+
+     OK hit|revalidated|miss plan=<ms> exec=<ms> rows=<n> steps=<k> aggs=<v1>,<v2>,...
+     ERR <message>
+
+   Connections are handled on system threads (not domains): a handler
+   spends its life blocked on socket reads or on a pool future, so threads
+   are the right weight, and the worker domains of the service pool provide
+   the actual query parallelism. *)
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let respond service oc line =
+  match Service.query service line with
+  | Ok r ->
+    Printf.fprintf oc "OK %s plan=%.3fms exec=%.3fms rows=%d steps=%d aggs=%s\n"
+      (Service.cached_name r.Service.r_cached)
+      r.Service.r_plan_ms r.Service.r_exec_ms r.Service.r_rows
+      r.Service.r_reopt_steps
+      (one_line
+         (String.concat "," (List.map Value.to_string r.Service.r_aggs)))
+  | Error msg -> Printf.fprintf oc "ERR %s\n" (one_line msg)
+
+let handle_line service ~stop oc line =
+  match String.trim line with
+  | "" -> true
+  | "\\quit" -> Printf.fprintf oc "OK bye\n"; false
+  | "\\shutdown" ->
+    Printf.fprintf oc "OK shutting down\n";
+    flush oc;
+    stop ();
+    false
+  | "\\cache" ->
+    let c = Service.cache service in
+    Printf.fprintf oc "OK cache size=%d capacity=%d generation=%d\n"
+      (Plan_cache.size c) (Plan_cache.capacity c)
+      (Service.generation service);
+    true
+  | "\\metrics" ->
+    Printf.fprintf oc "%s\n" (Json.to_string (Metrics.to_json (Metrics.snapshot ())));
+    true
+  | "\\refresh" ->
+    Service.refresh_stats service ();
+    Printf.fprintf oc "OK refreshed generation=%d\n" (Service.generation service);
+    true
+  | line when line.[0] = '\\' ->
+    Printf.fprintf oc "ERR unknown command %s\n" (one_line line);
+    true
+  | sql -> respond service oc sql; true
+
+(* Open connection fds, owned by whoever removes them: a handler closing
+   its own connection and [stop] closing every live one race only on the
+   registry mutex, so each fd is closed exactly once and a recycled
+   descriptor number is never closed twice. *)
+type registry = { rmu : Mutex.t; mutable fds : Unix.file_descr list }
+
+let register reg fd =
+  Mutex.lock reg.rmu;
+  reg.fds <- fd :: reg.fds;
+  Mutex.unlock reg.rmu
+
+let claim reg fd =
+  Mutex.lock reg.rmu;
+  let mine = List.memq fd reg.fds in
+  if mine then reg.fds <- List.filter (fun f -> not (f == fd)) reg.fds;
+  Mutex.unlock reg.rmu;
+  mine
+
+let claim_all reg =
+  Mutex.lock reg.rmu;
+  let fds = reg.fds in
+  reg.fds <- [];
+  Mutex.unlock reg.rmu;
+  fds
+
+let handle_connection service ~stop ~reg fd =
+  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+  Metrics.incr "serve.connections";
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
+    | line ->
+      let continue =
+        try
+          let c = handle_line service ~stop oc line in
+          flush oc;
+          c
+        with Sys_error _ | Unix.Unix_error _ -> false
+      in
+      if continue then loop ()
+  in
+  loop ();
+  if claim reg fd then (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let serve ?(host = "127.0.0.1") ~port service =
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listener Unix.SO_REUSEADDR true;
+  Unix.bind listener addr;
+  Unix.listen listener 16;
+  let reg = { rmu = Mutex.create (); fds = [] } in
+  let stopping = ref false in
+  let stop_mu = Mutex.create () in
+  let stop () =
+    Mutex.lock stop_mu;
+    let first = not !stopping in
+    stopping := true;
+    Mutex.unlock stop_mu;
+    if first then begin
+      (* [shutdown] on the listener wakes a thread blocked in accept(2)
+         (plain [close] does not) — the accept loop's clean exit path —
+         and closing every live connection unblocks its handler thread so
+         the final join cannot hang. *)
+      (try Unix.shutdown listener Unix.SHUTDOWN_ALL
+       with Unix.Unix_error _ -> ());
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      List.iter
+        (fun fd ->
+          (* [shutdown] (unlike [close]) interrupts a handler blocked in a
+             read on this connection. *)
+          (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (claim_all reg)
+    end
+  in
+  let threads_mu = Mutex.create () in
+  let threads = ref [] in
+  let rec accept_loop () =
+    match Unix.accept listener with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    | exception Unix.Unix_error _ -> ()
+    | fd, _peer ->
+      register reg fd;
+      let th =
+        Thread.create (fun () -> handle_connection service ~stop ~reg fd) ()
+      in
+      Mutex.lock threads_mu;
+      threads := th :: !threads;
+      Mutex.unlock threads_mu;
+      accept_loop ()
+  in
+  Fun.protect ~finally:stop (fun () -> accept_loop ());
+  Mutex.lock threads_mu;
+  let to_join = !threads in
+  threads := [];
+  Mutex.unlock threads_mu;
+  List.iter Thread.join to_join
+
+let port_of_env ?(default = 7878) var =
+  match Sys.getenv_opt var with
+  | None -> default
+  | Some s -> (try int_of_string (String.trim s) with Failure _ -> default)

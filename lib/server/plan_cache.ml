@@ -1,0 +1,115 @@
+module Cqnf = Rdb_verify.Cqnf
+module Query = Rdb_query.Query
+module Plan = Rdb_plan.Plan
+module Metrics = Rdb_obs.Metrics
+
+type entry = {
+  key : string;
+  cqnf : Cqnf.t;
+  canonical : Query.t;
+  mutable plan : Plan.t;
+  mutable epoch : (string * int) list;
+  mutable last_use : int;
+  mutable hits : int;
+}
+
+type t = {
+  mu : Mutex.t;
+  capacity : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;
+}
+
+type lookup =
+  | Hit of Query.t * Plan.t
+  | Stale of Query.t * Plan.t
+  | Miss
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be >= 1";
+  { mu = Mutex.create (); capacity; tbl = Hashtbl.create 64; tick = 0 }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) (fun () -> f ())
+
+let capacity t = t.capacity
+
+let size t = locked t (fun () -> Hashtbl.length t.tbl)
+
+let touch_locked t e =
+  t.tick <- t.tick + 1;
+  e.last_use <- t.tick
+
+let lookup t ~key ~cqnf ~epoch =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None -> Miss
+      | Some e when not (Cqnf.equal e.cqnf cqnf) ->
+        (* The fingerprint is injective on canonical forms, so this branch
+           is unreachable unless that invariant breaks; count it rather
+           than silently serving another query's plan. *)
+        Metrics.incr "cache.key_collisions";
+        Miss
+      | Some e ->
+        touch_locked t e;
+        if e.epoch = epoch then begin
+          e.hits <- e.hits + 1;
+          Hit (e.canonical, e.plan)
+        end
+        else Stale (e.canonical, e.plan))
+
+let insert t ~key ~cqnf ~canonical ~plan ~epoch =
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.tbl key with
+       | Some e ->
+         (* Raced with another worker planning the same form: keep one
+            entry, refreshed. *)
+         e.plan <- plan;
+         e.epoch <- epoch;
+         touch_locked t e
+       | None ->
+         if Hashtbl.length t.tbl >= t.capacity then begin
+           (* Evict the least recently used entry to respect the bound. *)
+           let victim =
+             Hashtbl.fold
+               (fun _ e acc ->
+                 match acc with
+                 | Some v when v.last_use <= e.last_use -> acc
+                 | _ -> Some e)
+               t.tbl None
+           in
+           match victim with
+           | Some v ->
+             Hashtbl.remove t.tbl v.key;
+             Metrics.incr "cache.evictions"
+           | None -> ()
+         end;
+         let e =
+           { key; cqnf; canonical; plan; epoch; last_use = 0; hits = 0 }
+         in
+         touch_locked t e;
+         Hashtbl.replace t.tbl key e;
+         Metrics.incr "cache.insertions"))
+
+let refresh t ~key ~plan ~epoch =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None -> ()
+      | Some e ->
+        (match plan with Some p -> e.plan <- p | None -> ());
+        e.epoch <- epoch;
+        touch_locked t e)
+
+let remove t ~key = locked t (fun () -> Hashtbl.remove t.tbl key)
+
+let plan_of t ~key =
+  locked t (fun () ->
+      Option.map (fun e -> e.plan) (Hashtbl.find_opt t.tbl key))
+
+let entries t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ e acc -> (e.key, e.canonical, e.plan, e.epoch, e.hits) :: acc)
+        t.tbl []
+      |> List.sort (fun (a, _, _, _, _) (b, _, _, _, _) -> compare a b))

@@ -1,0 +1,333 @@
+module Query = Rdb_query.Query
+module Session = Rdb_core.Session
+module Reopt = Rdb_core.Reopt
+module Trigger = Rdb_core.Trigger
+module Estimator = Rdb_card.Estimator
+module Optimizer = Rdb_plan.Optimizer
+module Plan = Rdb_plan.Plan
+module Executor = Rdb_exec.Executor
+module Cqnf = Rdb_verify.Cqnf
+module Card_bound = Rdb_verify.Card_bound
+module Finding = Rdb_analysis.Finding
+module Pool = Rdb_util.Pool
+module Metrics = Rdb_obs.Metrics
+module Trace = Rdb_obs.Trace
+
+type cached = Hit | Revalidated | Miss
+
+let cached_name = function
+  | Hit -> "hit"
+  | Revalidated -> "revalidated"
+  | Miss -> "miss"
+
+type response = {
+  r_aggs : Value.t list;
+  r_rows : int;
+  r_cached : cached;
+  r_plan_ms : float;
+  r_exec_ms : float;
+  r_reopt_steps : int;
+}
+
+type config = {
+  jobs : int;
+  cache_capacity : int;
+  reopt : float option;
+  revalidate : bool;
+  work_budget : int option;
+  deadline_ms : float option;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    cache_capacity = 256;
+    reopt = None;
+    revalidate = false;
+    work_budget = Some 200_000_000;
+    deadline_ms = None;
+  }
+
+type t = {
+  id : int;
+  config : config;
+  parent : Session.t;
+  state_mu : Mutex.t;  (* guards parent mutation, [generation], [closed] *)
+  mutable generation : int;
+  mutable closed : bool;
+  pool : Pool.t;
+  serial_mu : Mutex.t;  (* serializes inline execution when jobs = 1 *)
+  cache : Plan_cache.t;
+  next_request : int Atomic.t;
+}
+
+let service_ids = Atomic.make 0
+
+let create ?(config = default_config) parent =
+  if config.jobs < 1 then invalid_arg "Service.create: jobs must be >= 1";
+  {
+    id = Atomic.fetch_and_add service_ids 1;
+    config;
+    parent;
+    state_mu = Mutex.create ();
+    generation = 0;
+    closed = false;
+    pool = Pool.create config.jobs;
+    serial_mu = Mutex.create ();
+    cache = Plan_cache.create ~capacity:config.cache_capacity;
+    next_request = Atomic.make 0;
+  }
+
+let cache t = t.cache
+let jobs t = t.config.jobs
+
+let generation t =
+  Mutex.lock t.state_mu;
+  let g = t.generation in
+  Mutex.unlock t.state_mu;
+  g
+
+(* ---- per-domain session clones ----
+
+   Each pool worker executes against its own [Session.with_stats_of] clone:
+   shared immutable tables and statistics values, private temp-table
+   namespace, private catalog/stats maps — so re-optimization
+   materializations on one worker never touch another. The clone is keyed
+   by (service id, generation); a stats refresh bumps the generation and
+   every worker rebuilds its clone (and thereby sees the new statistics and
+   modification counters) on its next request. *)
+
+type slot = { slot_service : int; slot_generation : int; slot_session : Session.t }
+
+let clone_slot : slot option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let local_session t =
+  let slot = Domain.DLS.get clone_slot in
+  Mutex.lock t.state_mu;
+  let gen = t.generation in
+  match !slot with
+  | Some s when s.slot_service = t.id && s.slot_generation = gen ->
+    Mutex.unlock t.state_mu;
+    s.slot_session
+  | _ ->
+    let sess =
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.state_mu)
+        (fun () -> Session.with_stats_of t.parent)
+    in
+    slot :=
+      Some { slot_service = t.id; slot_generation = gen; slot_session = sess };
+    sess
+
+(* ---- the request pipeline ---- *)
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let epoch_of catalog (q : Query.t) =
+  Array.to_list (Array.map (fun (r : Query.rel) -> r.Query.table) q.Query.rels)
+  |> List.sort_uniq String.compare
+  |> List.map (fun name -> (name, Catalog.mod_count catalog name))
+
+(* Revalidation: the counters moved, but if every estimate recorded in the
+   cached plan still lies inside the symbolic verifier's sound bounds under
+   the *current* statistics, the plan cannot be provably wrong — keep it
+   (LRU position and epoch refreshed) instead of paying a replan. *)
+let revalidates sess canonical plan =
+  let bounds =
+    Card_bound.create ~catalog:(Session.catalog sess)
+      ~stats:(Session.stats sess) canonical
+  in
+  not (Finding.has_errors (Card_bound.check_plan bounds plan))
+
+let execute_plan t sess ?deadline_ms canonical plan =
+  let deadline_ms =
+    match deadline_ms with Some _ -> deadline_ms | None -> t.config.deadline_ms
+  in
+  Executor.execute ?work_budget:t.config.work_budget ?deadline_ms
+    ~catalog:(Session.catalog sess) ~query:canonical plan
+
+(* A miss plans the canonical query. With re-optimization enabled, a run
+   that replaced the plan writes an improved plan back: the canonical query
+   replanned with the materialized sub-join's now-known true cardinality
+   pinned ([Estimator.Overrides]) — so the next hit starts from what the
+   re-optimizer learned instead of re-triggering. *)
+let plan_and_execute t sess ?deadline_ms ~key ~cqnf ~epoch canonical =
+  let prepared = Session.prepare sess canonical in
+  match t.config.reopt with
+  | None ->
+    let plan, pstats, _ = Session.plan prepared ~mode:Estimator.Default in
+    Plan_cache.insert t.cache ~key ~cqnf ~canonical ~plan ~epoch;
+    let deadline_ms =
+      match deadline_ms with
+      | Some _ -> deadline_ms
+      | None -> t.config.deadline_ms
+    in
+    let res =
+      Session.execute ?work_budget:t.config.work_budget ?deadline_ms prepared
+        plan
+    in
+    (res, pstats.Optimizer.plan_ms, res.Executor.elapsed_ms, 0)
+  | Some threshold ->
+    let deadline_ms =
+      match deadline_ms with
+      | Some _ -> deadline_ms
+      | None -> t.config.deadline_ms
+    in
+    let outcome =
+      Reopt.run ?work_budget:t.config.work_budget ?deadline_ms
+        ~initial:prepared sess ~trigger:(Trigger.create threshold)
+        ~mode:Estimator.Default canonical
+    in
+    let plan =
+      match outcome.Reopt.steps with
+      | [] -> outcome.Reopt.final_plan
+      | first :: _ ->
+        (* [materialized_set] of the first step is in the canonical query's
+           own numbering (later steps renumber), and [temp_rows] is its true
+           cardinality — pin it and replan. *)
+        let overrides = Hashtbl.create 4 in
+        Hashtbl.replace overrides first.Reopt.materialized_set
+          (float_of_int (max 1 first.Reopt.temp_rows));
+        let estimator =
+          Estimator.create ~mode:(Estimator.Overrides overrides)
+            ~catalog:(Session.catalog sess) ~stats:(Session.stats sess)
+            canonical
+        in
+        let plan, _ =
+          Optimizer.plan ~space:(Session.space prepared)
+            ~cost_params:(Session.cost_params sess)
+            ~catalog:(Session.catalog sess) ~estimator canonical
+        in
+        Metrics.incr "cache.writebacks";
+        plan
+    in
+    Plan_cache.insert t.cache ~key ~cqnf ~canonical ~plan ~epoch;
+    ( outcome.Reopt.final_exec,
+      outcome.Reopt.total_plan_ms,
+      outcome.Reopt.total_exec_ms,
+      List.length outcome.Reopt.steps )
+
+let process t sess ?deadline_ms (q : Query.t) =
+  let catalog = Session.catalog sess in
+  let cqnf = Cqnf.of_query ~catalog q in
+  let key = Cqnf.fingerprint cqnf in
+  let epoch = epoch_of catalog q in
+  let miss () =
+    Metrics.incr "cache.misses";
+    let canonical = Cqnf.to_query ~name:q.Query.name cqnf in
+    let res, plan_ms, exec_ms, steps =
+      plan_and_execute t sess ?deadline_ms ~key ~cqnf ~epoch canonical
+    in
+    (res, Miss, plan_ms, exec_ms, steps)
+  in
+  let res, cached, plan_ms, exec_ms, steps =
+    match Plan_cache.lookup t.cache ~key ~cqnf ~epoch with
+    | Plan_cache.Hit (canonical, plan) ->
+      Metrics.incr "cache.hits";
+      let res = execute_plan t sess ?deadline_ms canonical plan in
+      (res, Hit, 0.0, res.Executor.elapsed_ms, 0)
+    | Plan_cache.Stale (canonical, plan) ->
+      if t.config.revalidate && revalidates sess canonical plan then begin
+        Plan_cache.refresh t.cache ~key ~plan:None ~epoch;
+        Metrics.incr "cache.hits";
+        Metrics.incr "cache.revalidations";
+        let res = execute_plan t sess ?deadline_ms canonical plan in
+        (res, Revalidated, 0.0, res.Executor.elapsed_ms, 0)
+      end
+      else begin
+        Plan_cache.remove t.cache ~key;
+        Metrics.incr "cache.invalidations";
+        miss ()
+      end
+    | Plan_cache.Miss -> miss ()
+  in
+  Metrics.observe "serve.plan_ms" plan_ms;
+  Metrics.observe "serve.exec_ms" exec_ms;
+  {
+    r_aggs = res.Executor.aggs;
+    r_rows = res.Executor.out_rows;
+    r_cached = cached;
+    r_plan_ms = plan_ms;
+    r_exec_ms = exec_ms;
+    r_reopt_steps = steps;
+  }
+
+let handle t ?deadline_ms source =
+  let t0 = now_ms () in
+  Metrics.incr "serve.requests";
+  match
+    Trace.span "serve.request" (fun () ->
+        let sess = local_session t in
+        let q =
+          match source with
+          | `Bound q -> q
+          | `Sql sql ->
+            let name =
+              Printf.sprintf "r%d" (Atomic.fetch_and_add t.next_request 1)
+            in
+            (match
+               Rdb_sql.Binder.bind (Session.catalog sess) ~name
+                 (Rdb_sql.Parser.parse sql)
+             with
+             | Ok q -> q
+             | Error msg -> failwith msg)
+        in
+        process t sess ?deadline_ms q)
+  with
+  | resp ->
+    Metrics.observe "serve.ms" (now_ms () -. t0);
+    Ok resp
+  | exception e ->
+    Metrics.observe "serve.ms" (now_ms () -. t0);
+    Metrics.incr "serve.errors";
+    Error (Printexc.to_string e)
+
+let submit_source t ?deadline_ms source =
+  Mutex.lock t.state_mu;
+  let closed = t.closed in
+  Mutex.unlock t.state_mu;
+  if closed then invalid_arg "Service.submit: service is shut down";
+  if Pool.jobs t.pool = 1 then begin
+    (* A 1-job pool runs the task inline on the submitting thread; several
+       socket threads can submit concurrently, so serialize them — worker
+       domains provide the real parallelism when [jobs > 1]. *)
+    Mutex.lock t.serial_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.serial_mu)
+      (fun () -> Pool.submit t.pool (fun () -> handle t ?deadline_ms source))
+  end
+  else Pool.submit t.pool (fun () -> handle t ?deadline_ms source)
+
+let submit t ?deadline_ms sql = submit_source t ?deadline_ms (`Sql sql)
+
+let submit_bound t ?deadline_ms q = submit_source t ?deadline_ms (`Bound q)
+
+let query t ?deadline_ms sql = Pool.await (submit t ?deadline_ms sql)
+
+let query_bound t ?deadline_ms q = Pool.await (submit_bound t ?deadline_ms q)
+
+(* ---- statistics movement ---- *)
+
+let refresh_stats t ?buckets ?mcv_slots () =
+  Mutex.lock t.state_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.state_mu)
+    (fun () ->
+      Session.analyze ?buckets ?mcv_slots t.parent;
+      t.generation <- t.generation + 1;
+      Metrics.incr "serve.stats_refreshes")
+
+let touch_table t name =
+  Mutex.lock t.state_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.state_mu)
+    (fun () ->
+      Catalog.touch (Session.catalog t.parent) name;
+      t.generation <- t.generation + 1)
+
+let shutdown t =
+  Mutex.lock t.state_mu;
+  t.closed <- true;
+  Mutex.unlock t.state_mu;
+  Pool.shutdown t.pool

@@ -1,13 +1,30 @@
 type t = {
   tables : (string, Table.t) Hashtbl.t;
   indexes : (string * int, Hash_index.t) Hashtbl.t;
+  mods : (string, int) Hashtbl.t;
 }
 
-let create () = { tables = Hashtbl.create 32; indexes = Hashtbl.create 64 }
+let create () =
+  {
+    tables = Hashtbl.create 32;
+    indexes = Hashtbl.create 64;
+    mods = Hashtbl.create 32;
+  }
 
-let copy t = { tables = Hashtbl.copy t.tables; indexes = Hashtbl.copy t.indexes }
+let copy t =
+  {
+    tables = Hashtbl.copy t.tables;
+    indexes = Hashtbl.copy t.indexes;
+    mods = Hashtbl.copy t.mods;
+  }
 
-let add_table t table = Hashtbl.replace t.tables (Table.name table) table
+let mod_count t name = Option.value ~default:0 (Hashtbl.find_opt t.mods name)
+
+let touch t name = Hashtbl.replace t.mods name (mod_count t name + 1)
+
+let add_table t table =
+  Hashtbl.replace t.tables (Table.name table) table;
+  touch t (Table.name table)
 
 let table t name = Hashtbl.find_opt t.tables name
 
@@ -35,4 +52,5 @@ let indexes_on t name =
 let drop_table t name =
   Hashtbl.remove t.tables name;
   let cols = indexes_on t name in
-  List.iter (fun col -> Hashtbl.remove t.indexes (name, col)) cols
+  List.iter (fun col -> Hashtbl.remove t.indexes (name, col)) cols;
+  touch t name

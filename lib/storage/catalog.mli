@@ -31,3 +31,15 @@ val indexes_on : t -> string -> int list
 
 val drop_table : t -> string -> unit
 (** Removes the table and its indexes; used to clean up temp tables. *)
+
+val mod_count : t -> string -> int
+(** Modification counter of a table name: bumped by {!add_table},
+    {!drop_table} and {!touch}, and by ANALYZE through the session layer —
+    so "the counter moved" means "plans built against this table's old
+    data or statistics may be stale". 0 for a name never touched. Counters
+    are per-catalog: a {!copy} starts from the parent's values and then
+    evolves independently. *)
+
+val touch : t -> string -> unit
+(** Bump a table's modification counter without changing the table —
+    the statistics layer (and tests) record stats movement this way. *)

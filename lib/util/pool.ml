@@ -72,7 +72,13 @@ let worker t w =
     match next with
     | Some (Task (f, fut)) ->
       Mutex.unlock t.mu;
-      fulfil fut (run_now f);
+      (* A task exception is routed through the future by [run_now]; the
+         outer catch-all is defense in depth: nothing a task does may kill
+         the worker domain, or its queued siblings would never be fulfilled
+         and their submitters (the server's connection handlers) would
+         block forever. *)
+      (try fulfil fut (run_now f)
+       with e -> (try fulfil fut (Exn (e, Printexc.get_raw_backtrace ())) with _ -> ()));
       Mutex.lock t.mu;
       loop ()
     | None ->
@@ -104,7 +110,10 @@ let create size =
 let submit t f =
   let fut = fresh_future () in
   if t.size <= 1 then begin
-    if t.stop then invalid_arg "Pool.submit: pool is shut down";
+    Mutex.lock t.mu;
+    let stopped = t.stop in
+    Mutex.unlock t.mu;
+    if stopped then invalid_arg "Pool.submit: pool is shut down";
     fut.state <- run_now f;
     fut
   end
@@ -145,18 +154,21 @@ let run t thunks =
   let futures = List.map (submit t) thunks in
   List.map await futures
 
+(* Thread-safe and idempotent: concurrent shutdowns (the accept loop and a
+   signal handler, say) race on [stop] and on joining, so the domain list
+   is claimed under the lock — exactly one caller joins each domain — and a
+   worker that died of an internal error re-raises at its join, which must
+   not wedge the caller: the exception is swallowed (task exceptions were
+   already routed through their futures; only pool-internal failures are
+   lost, and losing them beats hanging the server). *)
 let shutdown t =
-  if not t.stop then begin
-    if t.size <= 1 then t.stop <- true
-    else begin
-      Mutex.lock t.mu;
-      t.stop <- true;
-      Condition.broadcast t.cond;
-      Mutex.unlock t.mu;
-      List.iter Domain.join t.domains;
-      t.domains <- []
-    end
-  end
+  Mutex.lock t.mu;
+  t.stop <- true;
+  Condition.broadcast t.cond;
+  let to_join = t.domains in
+  t.domains <- [];
+  Mutex.unlock t.mu;
+  List.iter (fun d -> try Domain.join d with _ -> ()) to_join
 
 let with_pool size f =
   let t = create size in

@@ -45,7 +45,11 @@ val run : t -> (unit -> 'a) list -> 'a list
 (** List flavour of {!map}. *)
 
 val shutdown : t -> unit
-(** Drain every queued task, then join the worker domains. Idempotent. *)
+(** Drain every queued task, then join the worker domains. Idempotent and
+    thread-safe: concurrent calls race benignly — exactly one caller joins
+    each worker — and a worker that died of an internal error never
+    prevents shutdown from completing (its exception is swallowed; task
+    exceptions always travel through their futures instead). *)
 
 val with_pool : int -> (t -> 'a) -> 'a
 (** [create] / run / [shutdown], exception-safe. *)

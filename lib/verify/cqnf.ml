@@ -370,3 +370,69 @@ let to_query ~name t =
 
 let normalize ~catalog (q : Query.t) =
   to_query ~name:q.Query.name (of_query ~catalog q)
+
+(* ---- fingerprint: an injective string rendering of the canonical form ----
+
+   The server's plan cache keys entries on this string, so two forms must
+   produce the same fingerprint exactly when [equal] holds (redundant_eqs
+   excluded, like [equal]). Every constructor is tagged and every string is
+   length-prefixed, so no two distinct forms can collide by concatenation
+   ambiguity. Equality of fingerprints of canonical forms is therefore the
+   same relation as [equal] — the property test_server pins down in both
+   directions. *)
+
+let fingerprint t =
+  let buf = Buffer.create 256 in
+  let str s =
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  let int i = Buffer.add_string buf (string_of_int i); Buffer.add_char buf ';' in
+  let value = function
+    | Value.Null -> Buffer.add_char buf 'n'
+    | Value.Int i -> Buffer.add_char buf 'i'; int i
+    | Value.Str s -> Buffer.add_char buf 's'; str s
+  in
+  let op (o : Predicate.op) =
+    Buffer.add_char buf
+      (match o with
+       | Predicate.Eq -> '=' | Predicate.Ne -> '!' | Predicate.Lt -> '<'
+       | Predicate.Le -> 'l' | Predicate.Gt -> '>' | Predicate.Ge -> 'g')
+  in
+  let pred = function
+    | Predicate.Cmp (o, v) -> Buffer.add_char buf 'C'; op o; value v
+    | Predicate.Between (lo, hi) -> Buffer.add_char buf 'B'; int lo; int hi
+    | Predicate.In_list vs ->
+      Buffer.add_char buf 'I';
+      int (List.length vs);
+      List.iter value vs
+    | Predicate.Like (Predicate.Prefix s) -> Buffer.add_char buf 'P'; str s
+    | Predicate.Like (Predicate.Suffix s) -> Buffer.add_char buf 'S'; str s
+    | Predicate.Like (Predicate.Contains s) -> Buffer.add_char buf 'K'; str s
+    | Predicate.Is_null -> Buffer.add_char buf 'U'
+    | Predicate.Is_not_null -> Buffer.add_char buf 'N'
+  in
+  int t.n_vars;
+  int (Array.length t.atoms);
+  Array.iter
+    (fun a ->
+      str a.table;
+      int (Array.length a.args);
+      Array.iter int a.args)
+    t.atoms;
+  Array.iter
+    (fun ps ->
+      int (List.length ps);
+      List.iter pred ps)
+    t.var_preds;
+  int (Array.length t.select);
+  Array.iter
+    (function
+      | S_star -> Buffer.add_char buf '*'
+      | S_count v -> Buffer.add_char buf 'c'; int v
+      | S_min v -> Buffer.add_char buf 'm'; int v
+      | S_max v -> Buffer.add_char buf 'M'; int v
+      | S_sum v -> Buffer.add_char buf '+'; int v)
+    t.select;
+  Buffer.contents buf

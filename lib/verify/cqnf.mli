@@ -48,6 +48,13 @@ val equal : t -> t -> bool
 
 val redundancy : t -> int
 
+val fingerprint : t -> string
+(** An injective string rendering of the canonical form: on canonical
+    forms, fingerprint equality is exactly {!equal} ([redundant_eqs]
+    excluded). The server's plan cache uses it as the key under which
+    alias-renamed and syntactically reshuffled — but equivalent — queries
+    share one cached plan. *)
+
 val to_query : name:string -> t -> Query.t
 (** Reconstruct a query: fresh [v<i>] aliases, one spanning star of edges
     per shared variable, predicates attached to the variable's first

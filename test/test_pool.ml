@@ -98,6 +98,41 @@ let test_submit_after_shutdown_rejected () =
          with Invalid_argument _ -> true))
     [ 1; 2 ]
 
+(* Two domains racing to shut the same pool down: exactly one joins the
+   workers, the other returns without raising — shutdown is idempotent
+   and thread-safe, so a failing connection handler and the accept loop
+   can both reach for it. *)
+let test_concurrent_shutdown () =
+  for _ = 1 to 20 do
+    let pool = Pool.create 4 in
+    let futures = List.init 32 (fun i -> Pool.submit pool (fun () -> i)) in
+    let racers =
+      List.init 3 (fun _ -> Domain.spawn (fun () -> Pool.shutdown pool))
+    in
+    Pool.shutdown pool;
+    List.iter Domain.join racers;
+    List.iteri
+      (fun i fut -> check Alcotest.int "drained despite the race" i (Pool.await fut))
+      futures
+  done
+
+(* A task that raises must not take its worker down with it: the pool
+   keeps draining, and shutdown still joins cleanly. *)
+let test_failing_task_never_wedges_shutdown () =
+  let pool = Pool.create 2 in
+  let bad = List.init 8 (fun _ -> Pool.submit pool (fun () -> failwith "die")) in
+  let good = List.init 8 (fun i -> Pool.submit pool (fun () -> i * 3)) in
+  Pool.shutdown pool;
+  List.iter
+    (fun fut ->
+      match Pool.await fut with
+      | _ -> Alcotest.fail "expected the task's failure"
+      | exception Failure _ -> ())
+    bad;
+  List.iteri
+    (fun i fut -> check Alcotest.int "survivors drained" (i * 3) (Pool.await fut))
+    good
+
 (* Shutdown drains tasks that are still queued. *)
 let test_shutdown_drains () =
   let pool = Pool.create 2 in
@@ -122,5 +157,9 @@ let () =
           Alcotest.test_case "submit after shutdown" `Quick
             test_submit_after_shutdown_rejected;
           Alcotest.test_case "shutdown drains queue" `Quick test_shutdown_drains;
+          Alcotest.test_case "concurrent shutdown is safe" `Quick
+            test_concurrent_shutdown;
+          Alcotest.test_case "failing task never wedges shutdown" `Quick
+            test_failing_task_never_wedges_shutdown;
         ] );
     ]
