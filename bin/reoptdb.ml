@@ -19,7 +19,14 @@
      reoptdb bench-serve [--json ...]   closed-loop latency/QPS benchmark of
                                         the service on a warmed mixed JOB
                                         workload (p50/p95, hit rate)
+     reoptdb racecheck [--json ...]     source-level concurrency lint of the
+                                        repo's own .ml tree: guarded-by,
+                                        lock-order cycles, domain captures
      reoptdb json-check report.json     strictly validate a JSON report
+
+   Exit codes are uniform across the analysis commands (lint, verify,
+   fragility, racecheck, json-check): 0 clean, 1 error-severity findings,
+   2 usage error.
 
    Set RDB_TRACE=stderr (or =path for JSON-lines) to trace every pipeline
    phase as nested timed spans. *)
@@ -102,7 +109,7 @@ let cmd_sql =
   let run name =
     match Rdb_imdb.Job_queries.sql_of name with
     | Some sql -> print_endline sql; 0
-    | None -> Printf.eprintf "unknown query %s\n" name; 1
+    | None -> Printf.eprintf "unknown query %s\n" name; 2
   in
   Cmd.v (Cmd.info "sql" ~doc:"Print a workload query's SQL text.")
     Term.(const run $ query_pos)
@@ -139,7 +146,7 @@ let cmd_explain =
   let run name scale seed mode_str analyze adaptive threshold pessimistic
       bounds =
     match parse_mode mode_str with
-    | Error e -> prerr_endline e; 1
+    | Error e -> prerr_endline e; 2
     | Ok mode ->
       let catalog, session = make_session ~scale ~seed in
       let q = Rdb_imdb.Job_queries.find catalog name in
@@ -200,7 +207,7 @@ let reopt_arg =
 let cmd_run =
   let run name scale seed mode_str reopt pessimistic =
     match parse_mode mode_str with
-    | Error e -> prerr_endline e; 1
+    | Error e -> prerr_endline e; 2
     | Ok mode ->
       let catalog, session = make_session ~scale ~seed in
       let q = Rdb_imdb.Job_queries.find catalog name in
@@ -315,7 +322,13 @@ let cmd_lint =
     Arg.(value & opt int 4 & info [ "perfect" ] ~docv:"N"
            ~doc:"The perfect-(N) estimator configuration to sweep.")
   in
-  let run scale seed threshold perfect_n =
+  let source_arg =
+    Arg.(value & flag & info [ "source" ]
+           ~doc:"Also run the source-level concurrency analyzer (racecheck) \
+                 over the repository's lib/ tree and merge its findings, \
+                 with the same dedupe and stable sort.")
+  in
+  let run scale seed threshold perfect_n source =
     let catalog, session = make_session ~scale ~seed in
     let queries = Rdb_imdb.Job_queries.all catalog in
     let n_plans = ref 0 and n_steps = ref 0 and n_capped = ref 0 in
@@ -396,6 +409,24 @@ let cmd_lint =
          | exception Rdb_analysis.Debug.Lint_failed findings ->
            report (Printf.sprintf "%s [reopt]" name) findings))
       queries;
+    (* Fourth finding source, opt-in: the source-level concurrency
+       analyzer over the repository's own .ml tree. Context is the
+       space-free "file:line" so the shared dedupe key stays per-site. *)
+    let n_source_files = ref 0 in
+    if source then begin
+      match Rdb_srclint.Srclint.find_default_root () with
+      | None ->
+        report "source"
+          [ Finding.warning ~code:"src-no-root"
+              "cannot locate the repository's lib/ tree for --source" ]
+      | Some root ->
+        let sr = Rdb_srclint.Srclint.analyze_tree ~root () in
+        n_source_files := List.length sr.Rdb_srclint.Srclint.files;
+        List.iter
+          (fun (i : Rdb_srclint.Srclint.item) ->
+            report (Printf.sprintf "%s:%d" i.file i.line) [ i.finding ])
+          sr.Rdb_srclint.Srclint.items
+    end;
     (* Dedupe: the same finding reported for the same query by several
        hooks/configs (the config label in the context does not make it a
        different finding) is printed once, under the first context that
@@ -442,9 +473,12 @@ let cmd_lint =
         (List.filter (fun (_, f) -> sev_rank f = 1) sorted)
     in
     Printf.printf
-      "lint: %d queries, %d plans, %d rewrite steps checked (%d runaway \
+      "lint: %d queries, %d plans, %d rewrite steps%s checked (%d runaway \
        cells capped); %d errors, %d warnings\n"
-      (List.length queries) !n_plans !n_steps !n_capped n_errors n_warnings;
+      (List.length queries) !n_plans !n_steps
+      (if source then Printf.sprintf ", %d source files" !n_source_files
+       else "")
+      !n_capped n_errors n_warnings;
     if n_errors > 0 then 1 else 0
   in
   Cmd.v
@@ -455,9 +489,11 @@ let cmd_lint =
           findings on every query, plan and rewrite step — including the \
           plan-robustness analyzer's interval-sensitivity findings on the \
           default config. Output is deduplicated and sorted by severity \
-          then query for stable CI diffs. Exits non-zero on error-severity \
-          findings.")
-    Term.(const run $ lint_scale_arg $ seed_arg $ threshold_arg $ perfect_arg)
+          then query for stable CI diffs. With --source, the source-level \
+          concurrency analyzer's findings on the repository's own lib/ tree \
+          are merged in. Exits non-zero on error-severity findings.")
+    Term.(const run $ lint_scale_arg $ seed_arg $ threshold_arg $ perfect_arg
+          $ source_arg)
 
 (* ---- verify ---- *)
 
@@ -678,6 +714,7 @@ let cmd_fragility =
       (String.concat ","
          (List.map (fun t -> Printf.sprintf "%g" t) thresholds));
     (* Per (threshold, metric) totals, accumulated query by query. *)
+    let n_finding_errors = ref 0 in
     let tally = Hashtbl.create 16 in
     let bump t key =
       let k = (t, key) in
@@ -708,6 +745,12 @@ let cmd_fragility =
               ~corner_replans:true ~corner_limit
               ~space:(Session.space prepared) ~catalog ~estimator:est q plan
           in
+          (* uniform exit-code contract: error-severity findings (interval
+             cost-model mismatches) make the sweep exit 1 like lint/verify *)
+          n_finding_errors :=
+            !n_finding_errors
+            + List.length
+                (Rdb_analysis.Finding.errors (Sensitivity.findings q report));
           let flips =
             List.filter
               (fun (f : Sensitivity.fragility) -> f.Sensitivity.frag_flips <> None)
@@ -809,7 +852,11 @@ let cmd_fragility =
        output_char oc '\n';
        close_out oc;
        Printf.eprintf "fragility report written to %s\n%!" path);
-    0
+    if !n_finding_errors > 0 then begin
+      Printf.printf "fragility: %d error findings\n" !n_finding_errors;
+      1
+    end
+    else 0
   in
   Cmd.v
     (Cmd.info "fragility"
@@ -1077,6 +1124,75 @@ let cmd_bench_serve =
 
 (* ---- json-check ---- *)
 
+(* ---- racecheck ---- *)
+
+let cmd_racecheck =
+  let module Srclint = Rdb_srclint.Srclint in
+  let roots_arg =
+    Arg.(value & opt_all string [] & info [ "root" ] ~docv:"DIR"
+           ~doc:"Directory tree of .ml sources to analyze (repeatable). \
+                 Default: the repository's lib/ directory, located by \
+                 walking up from the current directory.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
+           ~doc:"Write the full report (locks, lock-order edges, findings) \
+                 as JSON to PATH.")
+  in
+  let no_registry_arg =
+    Arg.(value & flag & info [ "no-registry" ]
+           ~doc:"Skip the checked registry of the serving stack's known \
+                 shared state (for analyzing trees other than this \
+                 repository's lib/).")
+  in
+  let run roots json_path no_registry =
+    let roots =
+      match roots with
+      | [] -> (
+        match Srclint.find_default_root () with Some r -> [ r ] | None -> [])
+      | rs -> rs
+    in
+    if roots = [] then begin
+      Printf.eprintf
+        "racecheck: cannot locate the repository's lib/ (pass --root)\n";
+      2
+    end
+    else begin
+      let files = List.concat_map Srclint.ml_files_under roots in
+      if files = [] then begin
+        Printf.eprintf "racecheck: no .ml files under %s\n"
+          (String.concat ", " roots);
+        2
+      end
+      else begin
+        let registry = if no_registry then Some [] else None in
+        let report = Srclint.analyze_files ?registry files in
+        print_string (Srclint.render report);
+        (match json_path with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (Rdb_obs.Json.to_string (Srclint.to_json report));
+          output_char oc '\n';
+          close_out oc;
+          Printf.eprintf "racecheck report written to %s\n%!" path);
+        Srclint.exit_code report
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "racecheck"
+       ~doc:
+         "Source-level concurrency-safety lint of the repository's own .ml \
+          tree: checks every @guarded_by/@confined-annotated shared state \
+          for accesses outside its lock, closures passed to other domains \
+          that capture guarded state, blocking calls under a lock, \
+          lock-acquisition-order cycles across modules, and the checked \
+          registry of the serving stack's shared state. The static \
+          complement of the TSan CI job. Exits 1 on error findings, 2 on \
+          usage errors.")
+    Term.(const run $ roots_arg $ json_arg $ no_registry_arg)
+
 let cmd_json_check =
   let path_pos =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH"
@@ -1089,7 +1205,7 @@ let cmd_json_check =
         ~finally:(fun () -> close_in_noerr ic)
         (fun () -> really_input_string ic (in_channel_length ic))
     with
-    | exception Sys_error e -> Printf.eprintf "json-check: %s\n" e; 1
+    | exception Sys_error e -> Printf.eprintf "json-check: %s\n" e; 2
     | text ->
       (match Rdb_obs.Json.parse_opt text with
        | Some (Rdb_obs.Json.Obj fields) ->
@@ -1123,9 +1239,13 @@ let () =
          Love Re-optimization' (ICDE 2019): query engine, instrumented \
          optimizer, and mid-query re-optimization."
   in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [ cmd_queries; cmd_sql; cmd_explain; cmd_run; cmd_experiment;
-            cmd_lint; cmd_verify; cmd_fragility; cmd_serve; cmd_bench_serve;
-            cmd_json_check ]))
+  let code =
+    Cmd.eval'
+      (Cmd.group info
+         [ cmd_queries; cmd_sql; cmd_explain; cmd_run; cmd_experiment;
+           cmd_lint; cmd_verify; cmd_fragility; cmd_serve; cmd_bench_serve;
+           cmd_racecheck; cmd_json_check ])
+  in
+  (* cmdliner reports its own parse errors as 124; fold them into the
+     uniform contract (2 = usage error) shared by every subcommand. *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

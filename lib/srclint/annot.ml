@@ -1,0 +1,206 @@
+(* Comment scanner + directive parser for the concurrency discipline.
+   Hand-rolled rather than [Lexer.comments ()] so it works on any source
+   string without compiler-libs state, and survives files that use the
+   full comment grammar (nesting, strings-in-comments). *)
+
+type directive =
+  | Guarded_by of string
+  | Confined of string
+  | Requires of string
+  | Acquires of string
+  | With_lock of string
+  | Race_ok of string
+  | Lock_order of string * string
+
+type t = { line : int; directive : directive }
+
+type error = { eline : int; etext : string }
+
+(* ---- comment extraction ---- *)
+
+type comment = { cline : int; ctext : string }
+
+let comments (src : string) : comment list =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let peek k = if !i + k < n then src.[!i + k] else '\000' in
+  let bump () =
+    if src.[!i] = '\n' then incr line;
+    incr i
+  in
+  (* Skip a string literal whose opening quote is at [!i]. *)
+  let skip_string () =
+    bump ();
+    let fin = ref false in
+    while (not !fin) && !i < n do
+      match src.[!i] with
+      | '\\' ->
+        bump ();
+        if !i < n then bump ()
+      | '"' ->
+        bump ();
+        fin := true
+      | _ -> bump ()
+    done
+  in
+  while !i < n do
+    match src.[!i] with
+    | '"' -> skip_string ()
+    | '\'' ->
+      (* char literal vs type variable: ['a'] / ['\n'] are literals,
+         ['a] in [('a, 'b) t] is not. *)
+      if peek 1 = '\\' then begin
+        bump ();
+        bump ();
+        while !i < n && src.[!i] <> '\'' do
+          bump ()
+        done;
+        if !i < n then bump ()
+      end
+      else if peek 2 = '\'' then begin
+        bump ();
+        bump ();
+        bump ()
+      end
+      else bump ()
+    | '(' when peek 1 = '*' ->
+      let start_line = !line in
+      let buf = Buffer.create 64 in
+      bump ();
+      bump ();
+      let depth = ref 1 in
+      while !depth > 0 && !i < n do
+        if src.[!i] = '(' && peek 1 = '*' then begin
+          incr depth;
+          Buffer.add_string buf "(*";
+          bump ();
+          bump ()
+        end
+        else if src.[!i] = '*' && peek 1 = ')' then begin
+          decr depth;
+          if !depth > 0 then Buffer.add_string buf "*)";
+          bump ();
+          bump ()
+        end
+        else if src.[!i] = '"' then begin
+          (* strings inside comments must balance; content is irrelevant
+             to directives, so just copy it through. *)
+          let s0 = !i in
+          skip_string ();
+          Buffer.add_string buf (String.sub src s0 (!i - s0))
+        end
+        else begin
+          Buffer.add_char buf src.[!i];
+          bump ()
+        end
+      done;
+      out := { cline = start_line; ctext = Buffer.contents buf } :: !out
+    | _ -> bump ()
+  done;
+  List.rev !out
+
+(* ---- directive parsing ---- *)
+
+let is_name s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = '.' || c = '\'')
+       s
+
+let known =
+  [ "@guarded_by"; "@confined"; "@requires"; "@acquires"; "@with_lock";
+    "@race_ok"; "@lock_order" ]
+
+let is_directive_tok t = String.length t > 1 && t.[0] = '@'
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+(* Parse the token stream of one comment line. *)
+let parse_line line toks =
+  let dirs = ref [] and errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := { eline = line; etext = s } :: !errs) fmt in
+  let dir d = dirs := { line; directive = d } :: !dirs in
+  let rec reason_of acc = function
+    (* free-text reason: everything up to the next directive token *)
+    | t :: rest when not (is_directive_tok t) -> reason_of (t :: acc) rest
+    | rest -> (String.concat " " (List.rev acc), rest)
+  in
+  let rec chain_of first = function
+    (* [a < b < c] -> edges (a,b) (b,c) *)
+    | "<" :: nxt :: rest when is_name nxt ->
+      dir (Lock_order (first, nxt));
+      chain_of nxt rest
+    | rest -> rest
+  in
+  let rec go = function
+    | [] -> ()
+    | "@guarded_by" :: rest -> one (fun l -> Guarded_by l) "@guarded_by" rest
+    | "@requires" :: rest -> one (fun l -> Requires l) "@requires" rest
+    | "@acquires" :: rest -> one (fun l -> Acquires l) "@acquires" rest
+    | "@with_lock" :: rest -> one (fun l -> With_lock l) "@with_lock" rest
+    | "@confined" :: rest -> reasoned (fun r -> Confined r) "@confined" rest
+    | "@race_ok" :: rest -> reasoned (fun r -> Race_ok r) "@race_ok" rest
+    | "@lock_order" :: first :: (("<" :: _) as rest) when is_name first ->
+      go (chain_of first rest)
+    | "@lock_order" :: rest ->
+      err "@lock_order expects '<a> < <b>'";
+      go rest
+    | t :: rest when is_directive_tok t && not (List.mem t known) ->
+      (* only flag plausible directive tokens, not stray '@' art *)
+      if String.for_all (fun c -> (c >= 'a' && c <= 'z') || c = '_') (String.sub t 1 (String.length t - 1))
+      then err "unknown concurrency directive %s" t;
+      go rest
+    | _ :: rest -> go rest
+  and one mk name = function
+    | l :: rest when is_name l ->
+      dir (mk l);
+      go rest
+    | rest ->
+      err "%s expects a lock name" name;
+      go rest
+  and reasoned mk name rest =
+    let reason, rest = reason_of [] rest in
+    if reason = "" then err "%s requires a reason" name else dir (mk reason);
+    go rest
+  in
+  go toks;
+  (List.rev !dirs, List.rev !errs)
+
+(* A directive must LEAD its comment line (several may follow on the same
+   line); prose that merely mentions one mid-sentence is ignored. A leading
+   token that looks like a directive but is unknown is an error — that is
+   how typos like [@guardedby] surface instead of rotting silently. *)
+let line_is_directive = function
+  | [] -> false
+  | t :: _ ->
+    is_directive_tok t
+    && String.for_all
+         (fun c -> (c >= 'a' && c <= 'z') || c = '_')
+         (String.sub t 1 (String.length t - 1))
+
+let scan src =
+  let dirs = ref [] and errs = ref [] in
+  List.iter
+    (fun c ->
+      List.iteri
+        (fun off lntext ->
+          if String.length lntext > 0 && String.contains lntext '@' then begin
+            let toks = split_ws lntext in
+            if line_is_directive toks then begin
+              let ds, es = parse_line (c.cline + off) toks in
+              dirs := List.rev_append ds !dirs;
+              errs := List.rev_append es !errs
+            end
+          end)
+        (String.split_on_char '\n' c.ctext))
+    (comments src);
+  (List.rev !dirs, List.rev !errs)

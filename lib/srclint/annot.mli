@@ -1,0 +1,43 @@
+(** Concurrency-discipline annotations embedded in OCaml comments.
+
+    The convention mirrors the paper's thesis applied to our own source:
+    declare the locking discipline statically so violations are caught at
+    build time instead of waiting for a runtime surprise. Directives live in
+    ordinary comments, either trailing the declaration they describe or on
+    the line immediately above it:
+
+    - [(* @guarded_by <lock> *)] — this mutable field / ref / container is
+      only accessed while [<lock>] is held.
+    - [(* @confined <reason> *)] — this state is domain-local or
+      single-owner; no lock is required (reason is mandatory).
+    - [(* @requires <lock> *)] — callers of this function must already hold
+      [<lock>]; the body is analyzed with the lock held.
+    - [(* @acquires <lock> *)] — summary hint: this function may acquire
+      [<lock>] (normally inferred; useful for externals).
+    - [(* @with_lock <lock> *)] — this function runs its closure arguments
+      with [<lock>] held (a [Mutex.protect]-style wrapper).
+    - [(* @race_ok <reason> *)] — suppress findings on this line and the
+      next (pre-publication initialization, etc.; reason is mandatory).
+    - [(* @lock_order <a> < <b> *)] — [<a>] must be acquired before [<b>];
+      chains [a < b < c] are allowed.
+
+    Lock names are short ([mu]) for locks of the same file, or qualified
+    with the defining file's basename ([pool.mu]) across files. *)
+
+type directive =
+  | Guarded_by of string
+  | Confined of string
+  | Requires of string
+  | Acquires of string
+  | With_lock of string
+  | Race_ok of string
+  | Lock_order of string * string
+
+type t = { line : int; directive : directive }
+
+type error = { eline : int; etext : string }
+
+val scan : string -> t list * error list
+(** [scan source] extracts directives from the comments of [source]
+    (handles nested comments and string/char literals). Malformed or
+    unknown [@...] directives are returned as errors. *)

@@ -1,0 +1,14 @@
+(** Checked registry of the known shared mutable state in the serving
+    stack. Every entry must exist in the analyzed tree, every listed state
+    must be declared there, and every auto-detected state in a registered
+    file must carry a [@guarded_by]/[@confined] annotation — so new shared
+    state cannot be added to these files without declaring its discipline. *)
+
+type entry = { suffix : string; required : string list }
+(** [suffix] matches the end of an analyzed path ([util/pool.ml]). *)
+
+val default : entry list
+(** The serving stack: pool, plan_cache, service, frontend, metrics, trace,
+    runner. *)
+
+val check : entry list -> Model.file list -> Lockcheck.located list

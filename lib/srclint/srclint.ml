@@ -1,0 +1,145 @@
+module Finding = Rdb_analysis.Finding
+module Json = Rdb_obs.Json
+
+type item = { file : string; line : int; finding : Finding.t }
+
+type report = {
+  files : string list;
+  locks : string list;
+  states : int;
+  edges : (string * string) list;
+  items : item list;
+}
+
+let sev_rank = function
+  | Finding.Error -> 0
+  | Finding.Warning -> 1
+  | Finding.Info -> 2
+
+let sort_items items =
+  List.sort
+    (fun a b ->
+      compare
+        (sev_rank a.finding.Finding.severity, a.file, a.line,
+         a.finding.Finding.code, a.finding.Finding.message)
+        (sev_rank b.finding.Finding.severity, b.file, b.line,
+         b.finding.Finding.code, b.finding.Finding.message))
+    items
+
+let analyze_models ?(registry = Registry.default) (models : Model.file list) =
+  let r = Lockcheck.check models in
+  let reg = Registry.check registry models in
+  let items =
+    List.map
+      (fun (l : Lockcheck.located) ->
+        { file = l.lfile; line = l.lline; finding = l.lfinding })
+      (reg @ r.items)
+    |> sort_items
+  in
+  let locks =
+    List.concat_map
+      (fun (f : Model.file) ->
+        Hashtbl.fold
+          (fun short _ acc -> Model.qualify f.base short :: acc)
+          f.locks [])
+      models
+    |> List.sort_uniq compare
+  in
+  let states =
+    List.fold_left
+      (fun acc (f : Model.file) -> acc + Hashtbl.length f.states)
+      0 models
+  in
+  { files = List.sort compare (List.map (fun (f : Model.file) -> f.path) models);
+    locks;
+    states;
+    edges =
+      List.map (fun (e : Lockcheck.edge) -> (e.efrom, e.eto)) r.edges
+      |> List.sort_uniq compare;
+    items }
+
+let analyze_files ?registry paths =
+  analyze_models ?registry (List.map Model.load (List.sort compare paths))
+
+let ml_files_under root =
+  let out = ref [] in
+  let rec go dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | entries ->
+      Array.sort compare entries;
+      Array.iter
+        (fun name ->
+          if name <> "_build" && name <> ".git" then begin
+            let p = Filename.concat dir name in
+            if Sys.is_directory p then go p
+            else if Filename.check_suffix name ".ml" then out := p :: !out
+          end)
+        entries
+  in
+  if Sys.file_exists root && Sys.is_directory root then go root;
+  List.rev !out
+
+let analyze_tree ?registry ~root () =
+  analyze_files ?registry (ml_files_under root)
+
+let find_default_root () =
+  let rec up dir n =
+    if n > 8 then None
+    else if Sys.file_exists (Filename.concat dir "lib/util/pool.ml") then
+      Some (Filename.concat dir "lib")
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent (n + 1)
+  in
+  up (Sys.getcwd ()) 0
+
+let errors r =
+  List.filter (fun i -> i.finding.Finding.severity = Finding.Error) r.items
+
+let exit_code r = if errors r <> [] then 1 else 0
+
+let render r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "racecheck: %d files, %d locks, %d states, %d lock-order edges\n"
+       (List.length r.files) (List.length r.locks) r.states
+       (List.length r.edges));
+  List.iter
+    (fun i ->
+      Buffer.add_string b
+        (Printf.sprintf "%s:%d: %s\n" i.file i.line
+           (Finding.to_string i.finding)))
+    r.items;
+  let errs = List.length (errors r) in
+  Buffer.add_string b
+    (Printf.sprintf "racecheck: %d findings (%d errors)\n"
+       (List.length r.items) errs);
+  Buffer.contents b
+
+let to_json r =
+  Json.Obj
+    [ ("files", Json.Int (List.length r.files));
+      ("locks", Json.List (List.map (fun l -> Json.Str l) r.locks));
+      ("states", Json.Int r.states);
+      ( "edges",
+        Json.List
+          (List.map
+             (fun (a, b) ->
+               Json.Obj [ ("from", Json.Str a); ("to", Json.Str b) ])
+             r.edges) );
+      ( "findings",
+        Json.List
+          (List.map
+             (fun i ->
+               Json.Obj
+                 [ ("file", Json.Str i.file);
+                   ("line", Json.Int i.line);
+                   ( "severity",
+                     Json.Str
+                       (Finding.severity_name i.finding.Finding.severity) );
+                   ("code", Json.Str i.finding.Finding.code);
+                   ("message", Json.Str i.finding.Finding.message) ])
+             r.items) );
+      ("errors", Json.Int (List.length (errors r))) ]

@@ -1,0 +1,41 @@
+(** Entry point of the source-level concurrency analyzer: the fourth
+    static-analysis layer (query -> plan -> sensitivity -> source). Loads
+    [.ml] files, runs {!Lockcheck} and {!Registry}, and renders a stable,
+    deterministically sorted report suitable for CI diffs. *)
+
+type item = {
+  file : string;
+  line : int;
+  finding : Rdb_analysis.Finding.t;
+}
+
+type report = {
+  files : string list;  (** analyzed paths, sorted *)
+  locks : string list;  (** qualified lock names, sorted *)
+  states : int;  (** number of declared/detected shared-state names *)
+  edges : (string * string) list;  (** lock acquisition-order graph *)
+  items : item list;  (** findings: errors first, then file/line *)
+}
+
+val analyze_files :
+  ?registry:Registry.entry list -> string list -> report
+(** Analyze exactly these files. [registry] defaults to
+    {!Registry.default}; pass [~registry:[]] for synthetic trees. *)
+
+val analyze_tree : ?registry:Registry.entry list -> root:string -> unit -> report
+(** Analyze every [.ml] under [root] (skips [_build]/[.git]). *)
+
+val ml_files_under : string -> string list
+
+val find_default_root : unit -> string option
+(** Walk up from the cwd looking for the repo root (identified by
+    [lib/util/pool.ml]); returns the [lib] directory to analyze. *)
+
+val errors : report -> item list
+
+val exit_code : report -> int
+(** 0 clean, 1 if any error-severity finding. *)
+
+val render : report -> string
+
+val to_json : report -> Rdb_obs.Json.t
