@@ -40,7 +40,9 @@ type measurement = {
 type lab = {
   session : Session.t;
   queries : Query.t list;
+  (* @confined each lab is private to one domain; grid sharding clones it *)
   prepared : (string, Session.prepared) Hashtbl.t;
+  (* @confined each lab is private to one domain; grid sharding clones it *)
   cache : (string * string, measurement) Hashtbl.t;
   work_budget : int;
   deadline_ms : float;
@@ -238,6 +240,7 @@ let run_grid ?(jobs = 1) ?queries lab configs =
         run regardless of worker count or scheduling (wall-clock fields
         aside). *)
      let mu = Mutex.create () in
+     (* @guarded_by mu *)
      let labs : (int, lab) Hashtbl.t = Hashtbl.create jobs in
      let worker_lab () =
        let id = (Domain.self () :> int) in

@@ -12,11 +12,15 @@ type snapshot = {
    register a new domain's shard or to enumerate them. *)
 type shard = {
   smu : Mutex.t;
+  (* @guarded_by smu *)
   c : (string, int) Hashtbl.t;
+  (* @guarded_by smu *)
   s : (string, stat) Hashtbl.t;
 }
 
 let registry_mu = Mutex.create ()
+
+(* @guarded_by registry_mu *)
 let shards : shard list ref = ref []
 
 let shard_key =
@@ -27,16 +31,19 @@ let shard_key =
       Mutex.unlock registry_mu;
       sh)
 
+(* @with_lock smu *)
 let with_shard f =
   let sh = Domain.DLS.get shard_key in
   Mutex.lock sh.smu;
   Fun.protect ~finally:(fun () -> Mutex.unlock sh.smu) (fun () -> f sh)
 
+(* @acquires smu *)
 let incr ?(by = 1) name =
   with_shard (fun sh ->
       Hashtbl.replace sh.c name
         (by + Option.value ~default:0 (Hashtbl.find_opt sh.c name)))
 
+(* @acquires smu *)
 let observe name v =
   with_shard (fun sh ->
       let merged =
@@ -58,6 +65,7 @@ let all_shards () =
   Mutex.unlock registry_mu;
   l
 
+(* @acquires smu *)
 let snapshot () =
   let c : (string, int) Hashtbl.t = Hashtbl.create 32 in
   let s : (string, stat) Hashtbl.t = Hashtbl.create 32 in
@@ -88,6 +96,7 @@ let snapshot () =
   let sorted tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
   { counters = sorted c; stats = sorted s }
 
+(* @acquires smu *)
 let reset () =
   List.iter
     (fun sh ->

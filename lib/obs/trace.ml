@@ -9,6 +9,8 @@ type sink =
    keeps the JSON-lines file sane when the pool's domains trace
    concurrently. *)
 let mu = Mutex.create ()
+
+(* @guarded_by mu *)
 let sink : sink option ref = ref None
 let t0 = Unix.gettimeofday ()
 
@@ -18,6 +20,7 @@ let resolve_env () =
   | Some "stderr" -> Stderr
   | Some path -> Jsonl (open_out path)
 
+(* @with_lock mu *)
 let with_mu f =
   Mutex.lock mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
@@ -31,6 +34,7 @@ let current () =
         sink := Some s;
         s)
 
+(* @requires mu *)
 let close_current () =
   match !sink with
   | Some (Jsonl oc) -> close_out oc
@@ -52,6 +56,7 @@ let flush () =
 (* Span nesting depth is per-domain state: domains trace independently
    and the pretty-printer's indentation / the JSON depth field must not
    interleave across them. *)
+(* @confined per-domain nesting depth via domain-local storage *)
 let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let record ~kind ~name ~depth ~start_ms ~dur_ms ~attrs =

@@ -67,7 +67,11 @@ let handle_line service ~stop oc line =
    its own connection and [stop] closing every live one race only on the
    registry mutex, so each fd is closed exactly once and a recycled
    descriptor number is never closed twice. *)
-type registry = { rmu : Mutex.t; mutable fds : Unix.file_descr list }
+type registry = {
+  rmu : Mutex.t;
+  (* @guarded_by rmu *)
+  mutable fds : Unix.file_descr list;
+}
 
 let register reg fd =
   Mutex.lock reg.rmu;
@@ -114,8 +118,9 @@ let serve ?(host = "127.0.0.1") ~port service =
   Unix.bind listener addr;
   Unix.listen listener 16;
   let reg = { rmu = Mutex.create (); fds = [] } in
-  let stopping = ref false in
   let stop_mu = Mutex.create () in
+  (* @guarded_by stop_mu *)
+  let stopping = ref false in
   let stop () =
     Mutex.lock stop_mu;
     let first = not !stopping in
@@ -139,6 +144,7 @@ let serve ?(host = "127.0.0.1") ~port service =
     end
   in
   let threads_mu = Mutex.create () in
+  (* @guarded_by threads_mu *)
   let threads = ref [] in
   let rec accept_loop () =
     match Unix.accept listener with

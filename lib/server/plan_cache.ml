@@ -7,16 +7,22 @@ type entry = {
   key : string;
   cqnf : Cqnf.t;
   canonical : Query.t;
+  (* @guarded_by mu *)
   mutable plan : Plan.t;
+  (* @guarded_by mu *)
   mutable epoch : (string * int) list;
+  (* @guarded_by mu *)
   mutable last_use : int;
+  (* @guarded_by mu *)
   mutable hits : int;
 }
 
 type t = {
   mu : Mutex.t;
   capacity : int;
+  (* @guarded_by mu *)
   tbl : (string, entry) Hashtbl.t;
+  (* @guarded_by mu *)
   mutable tick : int;
 }
 
@@ -29,6 +35,11 @@ let create ~capacity =
   if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be >= 1";
   { mu = Mutex.create (); capacity; tbl = Hashtbl.create 64; tick = 0 }
 
+(* Metrics counters are bumped while the cache lock is held, never the
+   other way around. *)
+(* @lock_order plan_cache.mu < metrics.smu *)
+
+(* @with_lock mu *)
 let locked t f =
   Mutex.lock t.mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) (fun () -> f ())
@@ -37,6 +48,7 @@ let capacity t = t.capacity
 
 let size t = locked t (fun () -> Hashtbl.length t.tbl)
 
+(* @requires mu *)
 let touch_locked t e =
   t.tick <- t.tick + 1;
   e.last_use <- t.tick

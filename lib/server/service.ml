@@ -53,13 +53,20 @@ type t = {
   config : config;
   parent : Session.t;
   state_mu : Mutex.t;  (* guards parent mutation, [generation], [closed] *)
+  (* @guarded_by state_mu *)
   mutable generation : int;
+  (* @guarded_by state_mu *)
   mutable closed : bool;
   pool : Pool.t;
   serial_mu : Mutex.t;  (* serializes inline execution when jobs = 1 *)
   cache : Plan_cache.t;
   next_request : int Atomic.t;
 }
+
+(* Inline (jobs = 1) submission enqueues into the pool while serialized,
+   and stats movement bumps metrics counters under the state lock. *)
+(* @lock_order service.serial_mu < pool.mu *)
+(* @lock_order service.state_mu < metrics.smu *)
 
 let service_ids = Atomic.make 0
 
@@ -99,6 +106,7 @@ let generation t =
 
 type slot = { slot_service : int; slot_generation : int; slot_session : Session.t }
 
+(* @confined domain-local storage: each domain touches only its own slot *)
 let clone_slot : slot option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 

@@ -6,6 +6,7 @@ type 'a state =
 type 'a future = {
   fmu : Mutex.t;
   fcond : Condition.t;
+  (* @guarded_by fmu *)
   mutable state : 'a state;
 }
 
@@ -15,9 +16,13 @@ type t = {
   size : int;
   mu : Mutex.t;  (* guards deques, rr and stop *)
   cond : Condition.t;
+  (* @guarded_by mu *)
   deques : task list array;  (* head = newest (owner end), tail = steal end *)
+  (* @guarded_by mu *)
   mutable rr : int;
+  (* @guarded_by mu *)
   mutable stop : bool;
+  (* @guarded_by mu *)
   mutable domains : unit Domain.t list;
 }
 
@@ -37,7 +42,7 @@ let fulfil fut result =
   Condition.broadcast fut.fcond;
   Mutex.unlock fut.fmu
 
-(* Both called with [t.mu] held. *)
+(* @requires mu *)
 let pop_own t w =
   match t.deques.(w) with
   | task :: rest ->
@@ -45,6 +50,7 @@ let pop_own t w =
     Some task
   | [] -> None
 
+(* @requires mu *)
 let steal t w =
   let split_last l =
     match List.rev l with
@@ -104,6 +110,7 @@ let create size =
     }
   in
   if size > 1 then
+    (* @race_ok written once before [t] escapes; [shutdown] re-reads under [mu] *)
     t.domains <- List.init size (fun w -> Domain.spawn (fun () -> worker t w));
   t
 
@@ -114,6 +121,7 @@ let submit t f =
     let stopped = t.stop in
     Mutex.unlock t.mu;
     if stopped then invalid_arg "Pool.submit: pool is shut down";
+    (* @race_ok fresh future, not yet shared with any other domain *)
     fut.state <- run_now f;
     fut
   end
