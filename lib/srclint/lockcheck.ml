@@ -601,6 +601,15 @@ and apply ctx env ~line ~head_line txt args =
       emit ctx line `E "src-blocking-under-lock"
         "blocking call %s while holding %s" (blocking_name p)
         (held_str env.held);
+    (* the spawn primitive itself may take locks on the calling thread
+       (Pool.submit enqueues under the pool mutex) *)
+    List.iter
+      (fun s ->
+        SS.iter
+          (fun a ->
+            if not (SS.mem a env.held) then add_edges ctx line env.held ~to_:a)
+          s.s_acq)
+      (summaries_of ctx txt);
     env'
   | (_, fname), _ ->
     check_blocking ctx env ~line:head_line txt;

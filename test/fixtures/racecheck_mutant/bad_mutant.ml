@@ -1,0 +1,9 @@
+(* Deliberately broken: exercises the racecheck CLI's non-zero exit path.
+   Never compiled — only parsed by the analyzer. *)
+
+let mu = Mutex.create ()
+
+(* @guarded_by mu *)
+let counter = ref 0
+
+let racy_bump () = counter := !counter + 1
