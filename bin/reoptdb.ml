@@ -13,6 +13,10 @@
      reoptdb fragility [--json p.json]  interval-sensitivity sweep: which
                                         estimates each plan's optimality and
                                         re-opt trigger depend on
+     reoptdb feedback [--json b.json]   LEO-style feedback sweep: learn true
+                                        cardinalities, then measure naive vs
+                                        fragility-gated corrections against
+                                        default and perfect-(n)
      reoptdb serve --port 7878          long-running query service: SQL over
                                         a line-oriented socket, worker-domain
                                         pool, CQNF-keyed plan cache
@@ -25,8 +29,8 @@
      reoptdb json-check report.json     strictly validate a JSON report
 
    Exit codes are uniform across the analysis commands (lint, verify,
-   fragility, racecheck, json-check): 0 clean, 1 error-severity findings,
-   2 usage error.
+   fragility, feedback, racecheck, json-check): 0 clean, 1 error-severity
+   findings, 2 usage error.
 
    Set RDB_TRACE=stderr (or =path for JSON-lines) to trace every pipeline
    phase as nested timed spans. *)
@@ -51,7 +55,10 @@ let seed_arg =
 let mode_arg =
   let doc =
     "Estimation mode: 'default', 'perfect' or 'perfect-N' (true \
-     cardinalities for joins of at most N relations)."
+     cardinalities for joins of at most N relations), 'feedback' (serve \
+     every remembered true cardinality from the feedback store) or \
+     'feedback-gated' (suppress corrections the fragility analysis marks \
+     as plan-flipping)."
   in
   Arg.(value & opt string "default" & info [ "mode" ] ~docv:"MODE" ~doc)
 
@@ -59,6 +66,8 @@ let parse_mode s =
   match String.lowercase_ascii s with
   | "default" -> Ok `Default
   | "perfect" -> Ok `Perfect_all
+  | "feedback" -> Ok `Feedback
+  | "feedback-gated" -> Ok `Feedback_gated
   | s ->
     (match String.index_opt s '-' with
      | Some i when String.sub s 0 i = "perfect" ->
@@ -66,13 +75,13 @@ let parse_mode s =
         with Failure _ -> Error ("bad mode " ^ s))
      | _ -> Error ("bad mode " ^ s))
 
-let make_session ~scale ~seed =
+let make_session ?feedback ~scale ~seed () =
   let catalog = Rdb_imdb.Imdb_gen.generate ~seed ~scale () in
-  let session = Session.create catalog in
+  let session = Session.create ?feedback catalog in
   Session.analyze session;
   (catalog, session)
 
-let resolve_mode prepared = function
+let resolve_mode ?feedback prepared = function
   | `Default -> Estimator.Default
   | `Perfect n ->
     Oracle.ensure_up_to (Session.oracle prepared) n;
@@ -81,6 +90,38 @@ let resolve_mode prepared = function
     let q = Session.query prepared in
     Oracle.ensure_up_to (Session.oracle prepared) (Rdb_query.Query.n_rels q);
     Estimator.Perfect_all
+  | (`Feedback | `Feedback_gated) as m ->
+    (match feedback with
+     | Some fb ->
+       Session.feedback_mode ~gated:(m = `Feedback_gated) prepared fb
+     | None -> Estimator.Default)
+
+(* --feedback PATH on explain/run: corrections learned by one invocation
+   carry over to the next. The store is loaded before planning (silently
+   starting empty when PATH does not exist yet) and saved back after the
+   command ran; staleness epochs make entries recorded against different
+   statistics drop out on lookup rather than mislead the planner. *)
+let feedback_path_arg =
+  Arg.(value & opt (some string) None & info [ "feedback" ] ~docv:"PATH"
+         ~doc:"Persist the cardinality-feedback store at PATH: load \
+               remembered true cardinalities before planning and save \
+               newly observed ones back afterwards. Required context for \
+               --mode feedback and --mode feedback-gated to have any \
+               corrections to serve.")
+
+let feedback_store_of = function
+  | None -> Rdb_core.Feedback.create ()
+  | Some path ->
+    (match Rdb_core.Feedback.load path with
+     | Some fb -> fb
+     | None -> Rdb_core.Feedback.create ())
+
+let feedback_store_save fb = function
+  | None -> ()
+  | Some path ->
+    Rdb_core.Feedback.save fb path;
+    Printf.eprintf "feedback store saved to %s (%d entries)\n%!" path
+      (Rdb_core.Feedback.size fb)
 
 (* ---- queries ---- *)
 
@@ -143,15 +184,16 @@ let cmd_explain =
            ~doc:"Print the symbolic verifier's sound cardinality interval \
                  next to each operator's estimated (and actual) rows.")
   in
-  let run name scale seed mode_str analyze adaptive threshold pessimistic
-      bounds =
+  let run name scale seed mode_str feedback_path analyze adaptive threshold
+      pessimistic bounds =
     match parse_mode mode_str with
     | Error e -> prerr_endline e; 2
     | Ok mode ->
-      let catalog, session = make_session ~scale ~seed in
+      let fb = feedback_store_of feedback_path in
+      let catalog, session = make_session ~feedback:fb ~scale ~seed () in
       let q = Rdb_imdb.Job_queries.find catalog name in
       let prepared = Session.prepare session q in
-      let mode = resolve_mode prepared mode in
+      let mode = resolve_mode ~feedback:fb prepared mode in
       let plan, pstats, _ = Session.plan ~pessimistic prepared ~mode in
       Printf.printf "planning: %d csg-cmp pairs, %.2fms\n\n"
         pstats.Rdb_plan.Optimizer.pairs_considered
@@ -184,6 +226,7 @@ let cmd_explain =
              ~actuals:(fun set -> Some (Oracle.true_card oracle set))
              ~notes q plan)
       end;
+      feedback_store_save fb feedback_path;
       Rdb_obs.Trace.flush ();
       0
   in
@@ -193,10 +236,12 @@ let cmd_explain =
          "Plan a query and print EXPLAIN with true cardinalities; with \
           --analyze, execute it and print EXPLAIN ANALYZE (actual rows, \
           Q-error, work, adaptive switches, re-opt trigger); with --bounds, \
-          show the verifier's sound cardinality interval per operator.")
+          show the verifier's sound cardinality interval per operator. With \
+          --analyze and --feedback PATH, observed true cardinalities are \
+          persisted for later feedback-mode planning.")
     Term.(const run $ query_pos $ scale_arg $ seed_arg $ mode_arg
-          $ analyze_arg $ adaptive_arg $ trigger_arg $ pessimistic_arg
-          $ bounds_arg)
+          $ feedback_path_arg $ analyze_arg $ adaptive_arg $ trigger_arg
+          $ pessimistic_arg $ bounds_arg)
 
 (* ---- run ---- *)
 
@@ -205,14 +250,15 @@ let reopt_arg =
          ~doc:"Enable re-optimization at the given Q-error threshold.")
 
 let cmd_run =
-  let run name scale seed mode_str reopt pessimistic =
+  let run name scale seed mode_str feedback_path reopt pessimistic =
     match parse_mode mode_str with
     | Error e -> prerr_endline e; 2
     | Ok mode ->
-      let catalog, session = make_session ~scale ~seed in
+      let fb = feedback_store_of feedback_path in
+      let catalog, session = make_session ~feedback:fb ~scale ~seed () in
       let q = Rdb_imdb.Job_queries.find catalog name in
       let prepared = Session.prepare session q in
-      let mode = resolve_mode prepared mode in
+      let mode = resolve_mode ~feedback:fb prepared mode in
       (match reopt with
        | None ->
          let plan, pstats, _ = Session.plan ~pessimistic prepared ~mode in
@@ -240,11 +286,18 @@ let cmd_run =
          List.iter
            (fun v -> print_endline ("  " ^ Value.to_string v))
            outcome.Reopt.final_exec.Executor.aggs);
+      feedback_store_save fb feedback_path;
       0
   in
-  Cmd.v (Cmd.info "run" ~doc:"Execute a query, optionally with re-optimization.")
-    Term.(const run $ query_pos $ scale_arg $ seed_arg $ mode_arg $ reopt_arg
-          $ pessimistic_arg)
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute a query, optionally with re-optimization. With --feedback \
+          PATH, true cardinalities observed during execution (including \
+          those paid for by re-optimization's materializations, re-keyed \
+          to the original query) persist across invocations.")
+    Term.(const run $ query_pos $ scale_arg $ seed_arg $ mode_arg
+          $ feedback_path_arg $ reopt_arg $ pessimistic_arg)
 
 (* ---- experiment ---- *)
 
@@ -329,7 +382,7 @@ let cmd_lint =
                  with the same dedupe and stable sort.")
   in
   let run scale seed threshold perfect_n source =
-    let catalog, session = make_session ~scale ~seed in
+    let catalog, session = make_session ~scale ~seed () in
     let queries = Rdb_imdb.Job_queries.all catalog in
     let n_plans = ref 0 and n_steps = ref 0 and n_capped = ref 0 in
     (* Findings are collected, deduplicated and sorted before printing:
@@ -521,7 +574,7 @@ let cmd_verify =
                  FK-joins with sampled predicates), seeded by --seed.")
   in
   let run scale seed threshold perfect_n n_gen =
-    let catalog, session = make_session ~scale ~seed in
+    let catalog, session = make_session ~scale ~seed () in
     let stats = Session.stats session in
     let queries = Rdb_imdb.Job_queries.all catalog in
     (* The header logs the seed: it drives both the data generator and the
@@ -694,7 +747,7 @@ let cmd_fragility =
   in
   let run scale seed env_factor no_bounds corner_limit queries_filter
       json_path =
-    let catalog, session = make_session ~scale ~seed in
+    let catalog, session = make_session ~scale ~seed () in
     let queries = Rdb_imdb.Job_queries.all catalog in
     let queries =
       match queries_filter with
@@ -870,6 +923,197 @@ let cmd_fragility =
     Term.(const run $ frag_scale_arg $ seed_arg $ envelope_arg
           $ no_bounds_arg $ corner_limit_arg $ queries_arg $ json_arg)
 
+(* ---- feedback ---- *)
+
+let cmd_feedback =
+  let module Runner = Rdb_harness.Runner in
+  let module FS = Rdb_harness.Feedback_sweep in
+  let module J = Rdb_obs.Json in
+  let fb_scale_arg =
+    Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"FACTOR"
+           ~doc:"Database scale factor of the sweep's lab.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Shard the learning and measurement grids across N domains \
+                 (0 = one per core). Deterministic measurement fields are \
+                 identical to a sequential run.")
+  in
+  let perfect_arg =
+    Arg.(value & opt int 4 & info [ "perfect" ] ~docv:"N"
+           ~doc:"Size of the perfect-(N) yardstick configuration.")
+  in
+  let reopt_learn_arg =
+    Arg.(value & opt float 32.0 & info [ "reopt-learn" ] ~docv:"THRESHOLD"
+           ~doc:"Q-error trigger of the re-optimizing learning pass whose \
+                 materializations pay for true cardinalities.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
+           ~doc:"Write the full sweep report as JSON to PATH (the \
+                 BENCH_feedback.json artifact).")
+  in
+  let measurement_doc (m : Runner.measurement) =
+    J.Obj
+      [ ("work", J.Int m.Runner.m_work);
+        ("capped", J.Bool m.Runner.m_capped);
+        ("steps", J.Int m.Runner.m_steps);
+        ("plan_ms", J.Float m.Runner.m_plan_ms);
+        ("exec_ms", J.Float m.Runner.m_exec_ms) ]
+  in
+  let delta_doc (q, ratio) =
+    J.Obj [ ("query", J.Str q); ("work_ratio", J.Float ratio) ]
+  in
+  let run scale seed jobs perfect_n reopt_learn json_path =
+    let jobs = if jobs = 0 then Rdb_util.Pool.default_jobs () else jobs in
+    Printf.printf
+      "feedback: seed=%d scale=%g jobs=%d perfect=%d reopt-learn=%g\n%!"
+      seed scale jobs perfect_n reopt_learn;
+    let lab = Runner.create_lab ~seed ~scale () in
+    let r = FS.run ~jobs ~perfect_n ~reopt_learn lab in
+    Printf.printf
+      "learned %d corrections (default pass + re-opt pass at threshold %g), \
+       store frozen\n"
+      r.FS.fr_store_size r.FS.fr_reopt_learn;
+    let total get =
+      List.fold_left (fun acc row -> acc + (get row).Runner.m_work) 0
+        r.FS.fr_rows
+    and capped get =
+      List.fold_left
+        (fun acc row -> if (get row).Runner.m_capped then acc + 1 else acc)
+        0 r.FS.fr_rows
+    in
+    let d_work = total (fun row -> row.FS.fs_default)
+    and n_work = total (fun row -> row.FS.fs_naive)
+    and g_work = total (fun row -> row.FS.fs_gated)
+    and p_work = total (fun row -> row.FS.fs_perfect) in
+    let d_capped = capped (fun row -> row.FS.fs_default)
+    and n_capped = capped (fun row -> row.FS.fs_naive)
+    and g_capped = capped (fun row -> row.FS.fs_gated)
+    and p_capped = capped (fun row -> row.FS.fs_perfect) in
+    Printf.printf "workload work (%d queries, capped cells in parens):\n"
+      (List.length r.FS.fr_rows);
+    Printf.printf "  default          %12d (%d)\n" d_work d_capped;
+    Printf.printf "  feedback-naive   %12d (%d)\n" n_work n_capped;
+    Printf.printf "  feedback-gated   %12d (%d)\n" g_work g_capped;
+    Printf.printf "  perfect-(%d)      %12d (%d)\n" perfect_n p_work p_capped;
+    let show label deltas =
+      Printf.printf "%s: %d\n" label (List.length deltas);
+      List.iter
+        (fun (q, ratio) -> Printf.printf "  %-4s %.2fx default's work\n" q ratio)
+        deltas
+    in
+    show "naive regressions (corrections made the plan worse)"
+      r.FS.fr_naive_regressions;
+    show "naive improvements" r.FS.fr_naive_improvements;
+    show "gated regressions (must be empty)" r.FS.fr_gated_regressions;
+    show "gated improvements" r.FS.fr_gated_improvements;
+    Printf.printf
+      "planning: dp pairs default=%d naive=%d gated=%d | store probes %d \
+       (bound %d)\n"
+      r.FS.fr_default_pairs r.FS.fr_naive_pairs r.FS.fr_gated_pairs
+      r.FS.fr_naive_lookups r.FS.fr_lookup_bound;
+    (* The exit-code contract: planning-work invariants (enumeration is
+       estimate-independent; lookups are demand-driven) plus the paper's
+       §IV-E/§V shape — naive corrections hurt at least one query, gated
+       corrections never materially hurt any. *)
+    let pairs_ok =
+      r.FS.fr_naive_pairs = r.FS.fr_default_pairs
+      && r.FS.fr_gated_pairs = r.FS.fr_default_pairs
+    in
+    let lookups_ok = r.FS.fr_naive_lookups <= r.FS.fr_lookup_bound in
+    let gated_ok = r.FS.fr_gated_regressions = [] in
+    let naive_hurts = r.FS.fr_naive_regressions <> [] in
+    let check name ok detail =
+      Printf.printf "check %-32s %s%s\n" name (if ok then "ok" else "FAIL")
+        (if detail = "" then "" else " (" ^ detail ^ ")")
+    in
+    check "dp-pairs-identical" pairs_ok
+      (Printf.sprintf "%d/%d/%d" r.FS.fr_default_pairs r.FS.fr_naive_pairs
+         r.FS.fr_gated_pairs);
+    check "lookups-within-demand-bound" lookups_ok
+      (Printf.sprintf "%d <= %d" r.FS.fr_naive_lookups r.FS.fr_lookup_bound);
+    check "gated-never-materially-worse" gated_ok
+      (Printf.sprintf "%d regressions" (List.length r.FS.fr_gated_regressions));
+    check "naive-corrections-hurt-somewhere" naive_hurts
+      (Printf.sprintf "%d regressions" (List.length r.FS.fr_naive_regressions));
+    (match json_path with
+     | None -> ()
+     | Some path ->
+       let doc =
+         J.Obj
+           [ ("report", J.Str "feedback");
+             ("scale", J.Float scale);
+             ("seed", J.Int seed);
+             ("perfect_n", J.Int r.FS.fr_perfect_n);
+             ("reopt_learn", J.Float r.FS.fr_reopt_learn);
+             ("store_size", J.Int r.FS.fr_store_size);
+             ( "planning",
+               J.Obj
+                 [ ("default_pairs", J.Int r.FS.fr_default_pairs);
+                   ("naive_pairs", J.Int r.FS.fr_naive_pairs);
+                   ("gated_pairs", J.Int r.FS.fr_gated_pairs);
+                   ("naive_lookups", J.Int r.FS.fr_naive_lookups);
+                   ("lookup_bound", J.Int r.FS.fr_lookup_bound) ] );
+             ( "totals",
+               J.Obj
+                 [ ("default_work", J.Int d_work);
+                   ("naive_work", J.Int n_work);
+                   ("gated_work", J.Int g_work);
+                   ("perfect_work", J.Int p_work);
+                   ("default_capped", J.Int d_capped);
+                   ("naive_capped", J.Int n_capped);
+                   ("gated_capped", J.Int g_capped);
+                   ("perfect_capped", J.Int p_capped) ] );
+             ( "naive_regressions",
+               J.List (List.map delta_doc r.FS.fr_naive_regressions) );
+             ( "naive_improvements",
+               J.List (List.map delta_doc r.FS.fr_naive_improvements) );
+             ( "gated_regressions",
+               J.List (List.map delta_doc r.FS.fr_gated_regressions) );
+             ( "gated_improvements",
+               J.List (List.map delta_doc r.FS.fr_gated_improvements) );
+             ( "checks",
+               J.Obj
+                 [ ("dp_pairs_identical", J.Bool pairs_ok);
+                   ("lookups_within_demand_bound", J.Bool lookups_ok);
+                   ("gated_never_materially_worse", J.Bool gated_ok);
+                   ("naive_corrections_hurt_somewhere", J.Bool naive_hurts) ] );
+             ( "queries",
+               J.List
+                 (List.map
+                    (fun (row : FS.row) ->
+                      J.Obj
+                        [ ("query", J.Str row.FS.fs_query);
+                          ("rels", J.Int row.FS.fs_rels);
+                          ("default", measurement_doc row.FS.fs_default);
+                          ("naive", measurement_doc row.FS.fs_naive);
+                          ("gated", measurement_doc row.FS.fs_gated);
+                          ("perfect", measurement_doc row.FS.fs_perfect) ])
+                    r.FS.fr_rows) ) ]
+       in
+       let oc = open_out path in
+       output_string oc (J.to_string doc);
+       output_char oc '\n';
+       close_out oc;
+       Printf.eprintf "feedback report written to %s\n%!" path);
+    if pairs_ok && lookups_ok && gated_ok && naive_hurts then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "feedback"
+       ~doc:
+         "LEO-style cardinality-feedback sweep over the 113-query workload: \
+          two learning passes (default execution, then re-optimization \
+          whose materializations pay for true sub-join cardinalities) fill \
+          the feedback store; the frozen store is then measured under \
+          default, naive feedback, fragility-gated feedback, and \
+          perfect-(N). Exits 1 when gated corrections are materially worse \
+          than default anywhere, when feedback modes change the DPccp pair \
+          count, when store probes exceed the demand-driven bound, or when \
+          no query shows the paper's corrections-can-hurt effect.")
+    Term.(const run $ fb_scale_arg $ seed_arg $ jobs_arg $ perfect_arg
+          $ reopt_learn_arg $ json_arg)
+
 (* ---- serve ---- *)
 
 let serve_jobs_arg =
@@ -893,7 +1137,12 @@ let revalidate_arg =
 
 let service_of ~scale ~seed ~jobs ~cache ~reopt ~revalidate =
   let jobs = if jobs = 0 then Rdb_util.Pool.default_jobs () else jobs in
-  let catalog, session = make_session ~scale ~seed in
+  (* The serving session carries a feedback store: executions behind cache
+     hits and re-opt write-backs observe true cardinalities as a side
+     effect of serving, so replans after invalidation start corrected. *)
+  let catalog, session =
+    make_session ~feedback:(Rdb_core.Feedback.create ()) ~scale ~seed ()
+  in
   let config =
     {
       Rdb_server.Service.default_config with
@@ -1243,8 +1492,8 @@ let () =
     Cmd.eval'
       (Cmd.group info
          [ cmd_queries; cmd_sql; cmd_explain; cmd_run; cmd_experiment;
-           cmd_lint; cmd_verify; cmd_fragility; cmd_serve; cmd_bench_serve;
-           cmd_racecheck; cmd_json_check ])
+           cmd_lint; cmd_verify; cmd_fragility; cmd_feedback; cmd_serve;
+           cmd_bench_serve; cmd_racecheck; cmd_json_check ])
   in
   (* cmdliner reports its own parse errors as 124; fold them into the
      uniform contract (2 = usage error) shared by every subcommand. *)

@@ -352,6 +352,11 @@ let analyze ?envelope ?(threshold = default_threshold) ?(min_actual_rows = 0)
     cost_mismatches;
   }
 
+let fragile_sets report =
+  List.filter_map
+    (fun f -> match f.frag_flips with Some _ -> Some f.frag_set | None -> None)
+    report.fragilities
+
 let string_of_aliases aliases = String.concat "," aliases
 
 let rows_str v =

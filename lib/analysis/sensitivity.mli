@@ -136,6 +136,12 @@ val analyze :
     [fragility] sweep does not). [space] reuses a prebuilt search space
     across the replans. *)
 
+val fragile_sets : report -> Relset.t list
+(** The relation subsets of joins whose corner estimates flipped the
+    DP-chosen plan ([frag_flips <> None]) — the joins a feedback
+    correction must not be allowed to move (see
+    [Rdb_core.Feedback.gate]). *)
+
 val findings : Query.t -> report -> Finding.t list
 (** Severity-tagged findings:
     - [interval-cost-mismatch] (error): a node's recorded cost disagrees

@@ -8,6 +8,7 @@ type mode =
   | Perfect of int
   | Perfect_all
   | Overrides of (Relset.t, float) Hashtbl.t
+  | Feedback of (Relset.t -> float option)
   | Sampling of Join_sample.t
 
 type t = {
@@ -184,6 +185,14 @@ and compute t s =
   | Perfect n when size <= n -> float_of_int (Oracle.true_card (oracle_exn t) s)
   | Perfect_all -> float_of_int (Oracle.true_card (oracle_exn t) s)
   | Overrides overrides when Hashtbl.mem overrides s -> Hashtbl.find overrides s
+  | Feedback lookup -> (
+    (* Demand-driven: one store probe per memoized subset, so feedback
+       costs O(DP work), never an eager sweep of every connected subset.
+       Corrections compose upward through compute_default exactly like
+       perfect-(n) sub-estimates do. *)
+    match lookup s with
+    | Some v -> v
+    | None -> compute_default t s)
   | Sampling js -> Float.max 1.0 (Join_sample.card js s)
   | Default | Perfect _ | Overrides _ -> compute_default t s
 

@@ -12,6 +12,11 @@
     - [Perfect_all]: perfect-(17) in the paper — every estimate true.
     - [Overrides]: selected subsets pinned to given values, the LEO-style
       selective-correction experiment of §IV-E.
+    - [Feedback]: consult a correction source (typically
+      [Rdb_core.Feedback.lookup], possibly gated) before the default
+      composition. The probe happens once per memoized subset — lookup is
+      demand-driven from the DP enumeration, never an eager sweep over
+      every connected subset.
     - [Sampling]: index-based join sampling (§II-C's practical contender):
       estimates come from pushing a bounded row sample through the real
       joins. *)
@@ -25,6 +30,7 @@ type mode =
   | Perfect of int
   | Perfect_all
   | Overrides of (Relset.t, float) Hashtbl.t
+  | Feedback of (Relset.t -> float option)
   | Sampling of Join_sample.t
 
 type t

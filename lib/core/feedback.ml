@@ -1,12 +1,46 @@
 module Relset = Rdb_util.Relset
 module Query = Rdb_query.Query
-module Join_graph = Rdb_query.Join_graph
 module Predicate = Rdb_query.Predicate
 module Executor = Rdb_exec.Executor
+module Metrics = Rdb_obs.Metrics
+module J = Rdb_obs.Json
 
-type t = (string, float) Hashtbl.t
+type entry = {
+  value : float;
+  epochs : (string * int) list;
+      (* member tables with their Catalog.mod_count at observe time,
+         sorted by table name; any bump makes the entry stale *)
+}
 
-let create () : t = Hashtbl.create 256
+type t = {
+  mu : Mutex.t;
+  (* @guarded_by mu *)
+  tbl : (string, entry) Hashtbl.t;
+  (* @guarded_by mu *)
+  mutable frozen : bool;
+}
+
+let create () =
+  { mu = Mutex.create (); tbl = Hashtbl.create 256; frozen = false }
+
+(* Metrics counters are only ever bumped outside the store lock. *)
+
+(* @with_lock mu *)
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) (fun () -> f ())
+
+(* ---- canonical sub-join signatures ---- *)
+
+(* Every variable-length component is length-prefixed before
+   concatenation, so the encoding is injective no matter which characters
+   appear inside predicate constants: "3:abc" can only ever be read back
+   as the three bytes "abc". The previous encoding joined components with
+   bare "|" / ";" / "||" separators, and [Predicate.to_sql] embeds raw
+   [Value.to_string] output — a string constant containing a separator
+   collided distinct sub-joins into one key and cross-contaminated their
+   corrections. *)
+let frame s = Printf.sprintf "%d:%s" (String.length s) s
 
 (* Alias-independent rendering of one relation: table name plus its sorted
    predicates over positional column names. *)
@@ -17,8 +51,8 @@ let rel_signature (q : Query.t) rel =
            Predicate.to_sql ~col:(Printf.sprintf "c%d" col) p)
     |> List.sort String.compare
   in
-  Printf.sprintf "%s[%s]" q.Query.rels.(rel).Query.table
-    (String.concat ";" preds)
+  frame q.Query.rels.(rel).Query.table
+  ^ String.concat "" (List.map frame preds)
 
 let signature (q : Query.t) s =
   let members =
@@ -28,34 +62,195 @@ let signature (q : Query.t) s =
     Query.edges_within q s
     |> List.map (fun { Query.l; r } ->
            let side (cr : Query.colref) =
-             Printf.sprintf "%s.c%d" (rel_signature q cr.Query.rel) cr.Query.col
+             frame (rel_signature q cr.Query.rel)
+             ^ frame (string_of_int cr.Query.col)
            in
            let a = side l and b = side r in
-           if String.compare a b <= 0 then a ^ "=" ^ b else b ^ "=" ^ a)
+           if String.compare a b <= 0 then frame a ^ frame b
+           else frame b ^ frame a)
     |> List.sort String.compare
   in
-  String.concat "|" members ^ "||" ^ String.concat "|" edges
+  "m"
+  ^ frame (String.concat "" (List.map frame members))
+  ^ "e"
+  ^ frame (String.concat "" (List.map frame edges))
 
-let observe_card t q s card =
-  Hashtbl.replace t (signature q s) (float_of_int card)
+(* ---- staleness epochs ---- *)
 
-let observe t q (result : Executor.result) =
+let epochs_of ~catalog (q : Query.t) s =
+  Relset.to_list s
+  |> List.map (fun i -> q.Query.rels.(i).Query.table)
+  |> List.sort_uniq String.compare
+  |> List.map (fun name -> (name, Catalog.mod_count catalog name))
+
+let fresh ~catalog e =
+  List.for_all
+    (fun (name, mods) -> Catalog.mod_count catalog name = mods)
+    e.epochs
+
+(* ---- observation ---- *)
+
+let observe_card t ~catalog q s card =
+  let key = signature q s in
+  let e = { value = float_of_int card; epochs = epochs_of ~catalog q s } in
+  let recorded =
+    locked t (fun () ->
+        if t.frozen then false
+        else begin
+          Hashtbl.replace t.tbl key e;
+          true
+        end)
+  in
+  if recorded then Metrics.incr "feedback.observed"
+
+let observe t ~catalog q (result : Executor.result) =
   List.iter
     (fun (obs : Executor.node_obs) ->
-      observe_card t q obs.Executor.obs_set obs.Executor.obs_actual)
+      observe_card t ~catalog q obs.Executor.obs_set obs.Executor.obs_actual)
     result.Executor.observations
 
-let lookup t q s = Hashtbl.find_opt t (signature q s)
+let set_frozen t b = locked t (fun () -> t.frozen <- b)
 
-let overrides_for t q =
-  let graph = Join_graph.make q in
-  let overrides = Hashtbl.create 32 in
-  List.iter
-    (fun s ->
-      match lookup t q s with
-      | Some card -> Hashtbl.replace overrides s card
-      | None -> ())
-    (Join_graph.connected_subsets graph);
-  overrides
+(* ---- lookup ---- *)
 
-let size t = Hashtbl.length t
+let lookup t ~catalog q s =
+  Metrics.incr "feedback.lookups";
+  let key = signature q s in
+  let r =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | None -> `Miss
+        | Some e when fresh ~catalog e -> `Hit e.value
+        | Some _ ->
+          (* A member table's mod_count moved since the observation:
+             ANALYZE or ingest invalidated it. Drop rather than decay — a
+             wrong "correction" is worse than none (§IV-E). *)
+          Hashtbl.remove t.tbl key;
+          `Stale)
+  in
+  match r with
+  | `Hit v ->
+    Metrics.incr "feedback.hits";
+    Some v
+  | `Stale ->
+    Metrics.incr "feedback.stale_dropped";
+    None
+  | `Miss -> None
+
+(* ---- gating ---- *)
+
+let gate ~fragile lookup s =
+  match lookup s with
+  | None -> None
+  | Some v ->
+    (* A correction at or below a flip-fragile join feeds an estimate the
+       plan's optimality pivots on while the surrounding estimates stay
+       uncorrected — exactly the partial-correction mechanism the paper
+       shows picking worse plans. Serve only corrections that cannot
+       reach a fragile join from below. *)
+    if List.exists (fun f -> Relset.subset s f) fragile then begin
+      Metrics.incr "feedback.gate_blocked";
+      None
+    end
+    else Some v
+
+(* ---- introspection ---- *)
+
+let size t = locked t (fun () -> Hashtbl.length t.tbl)
+
+let entries t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k e acc -> (k, e.value) :: acc) t.tbl [])
+  |> List.sort compare
+
+let clear t = locked t (fun () -> Hashtbl.reset t.tbl)
+
+(* ---- persistence ---- *)
+
+let to_json t =
+  let es =
+    locked t (fun () ->
+        Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.tbl [])
+    |> List.sort compare
+  in
+  J.Obj
+    [
+      ("store", J.Str "feedback");
+      ("version", J.Int 1);
+      ( "entries",
+        J.List
+          (List.map
+             (fun (k, e) ->
+               J.Obj
+                 [
+                   ("key", J.Str k);
+                   ("value", J.Float e.value);
+                   ( "epochs",
+                     J.List
+                       (List.map
+                          (fun (name, mods) ->
+                            J.Obj
+                              [
+                                ("table", J.Str name); ("mods", J.Int mods);
+                              ])
+                          e.epochs) );
+                 ])
+             es) );
+    ]
+
+let of_json j =
+  let num = function
+    | J.Int i -> Some (float_of_int i)
+    | J.Float f -> Some f
+    | _ -> None
+  in
+  let epoch_of_json = function
+    | J.Obj pf -> (
+      match (List.assoc_opt "table" pf, List.assoc_opt "mods" pf) with
+      | Some (J.Str name), Some (J.Int mods) -> Some (name, mods)
+      | _ -> None)
+    | _ -> None
+  in
+  (* @requires mu *)
+  let entry_of_json t = function
+    | J.Obj ef -> (
+      match
+        ( List.assoc_opt "key" ef,
+          Option.bind (List.assoc_opt "value" ef) num,
+          List.assoc_opt "epochs" ef )
+      with
+      | Some (J.Str key), Some value, Some (J.List eps) ->
+        let eps = List.map epoch_of_json eps in
+        if List.exists Option.is_none eps then false
+        else begin
+          Hashtbl.replace t.tbl key
+            { value; epochs = List.filter_map Fun.id eps };
+          true
+        end
+      | _ -> false)
+    | _ -> false
+  in
+  match j with
+  | J.Obj fields -> (
+    match
+      (List.assoc_opt "store" fields, List.assoc_opt "entries" fields)
+    with
+    | Some (J.Str "feedback"), Some (J.List es) ->
+      let t = create () in
+      if locked t (fun () -> List.for_all (entry_of_json t) es) then Some t
+      else None
+    | _ -> None)
+  | _ -> None
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string (to_json t));
+      output_char oc '\n')
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | contents -> Option.bind (J.parse_opt contents) of_json

@@ -3,11 +3,21 @@
     when planning future queries whose sub-joins look the same.
 
     Sub-joins are keyed by a normalized signature — member tables, their
-    predicates, and the internal join edges — so the knowledge transfers
-    across queries that share structure, not just across repeated
-    executions of one query. The paper's warning applies: partially
-    corrected estimates can pick worse plans than the original; the [leo]
-    experiment quantifies this. *)
+    predicates, and the internal join edges, every component
+    length-prefixed so the key is injective — and each entry carries the
+    [(table, Catalog.mod_count)] epochs of its member tables at observe
+    time: ANALYZE or ingest bumping a counter makes the correction stale,
+    and stale corrections are dropped on lookup rather than served.
+
+    The store is mutex-protected and deliberately shared across
+    [Session.with_stats_of] clones, so parallel grid workers and server
+    domains learn into one knowledge base; values are true cardinalities,
+    so concurrent writers always agree.
+
+    The paper's warning applies: partially corrected estimates can pick
+    worse plans than the original. {!gate} implements the defensive
+    policy — never serve a correction that feeds a flip-fragile join —
+    and the [reoptdb feedback] sweep quantifies both behaviours. *)
 
 module Relset = Rdb_util.Relset
 module Query := Rdb_query.Query
@@ -17,19 +27,55 @@ type t
 val create : unit -> t
 
 val signature : Query.t -> Relset.t -> string
-(** The normalized signature of a sub-join; exposed for tests. *)
+(** The normalized, injective signature of a sub-join; exposed for
+    tests. *)
 
-val observe : t -> Query.t -> Rdb_exec.Executor.result -> unit
-(** Record every executed node's true cardinality. *)
+val observe : t -> catalog:Catalog.t -> Query.t -> Rdb_exec.Executor.result -> unit
+(** Record every executed node's true cardinality, stamped with the
+    member tables' current modification counters. The query must be the
+    one the executed plan was built from — observations index its
+    relations. For re-optimized executions use [Reopt.run]'s feedback
+    wiring, which maps rewritten-query observations back to
+    original-query signatures. *)
 
-val observe_card : t -> Query.t -> Relset.t -> int -> unit
+val observe_card : t -> catalog:Catalog.t -> Query.t -> Relset.t -> int -> unit
 (** Record one sub-join cardinality directly. *)
 
-val lookup : t -> Query.t -> Relset.t -> float option
+val lookup : t -> catalog:Catalog.t -> Query.t -> Relset.t -> float option
+(** The remembered true cardinality for this sub-join, if still fresh.
+    An entry whose member-table epochs no longer match the catalog is
+    dropped and not served. *)
 
-val overrides_for : t -> Query.t -> (Relset.t, float) Hashtbl.t
-(** Everything this store knows about the query's connected sub-joins, in
-    the shape {!Rdb_card.Estimator.Overrides} consumes. *)
+val gate :
+  fragile:Relset.t list ->
+  (Relset.t -> float option) ->
+  Relset.t ->
+  float option
+(** [gate ~fragile lookup] wraps a lookup with the fragility gating
+    policy: corrections on a set that is a subset of (or equal to) any
+    flip-fragile join are suppressed, because a partial correction
+    feeding a fragile join is exactly how selective feedback flips plans
+    for the worse. *)
+
+val set_frozen : t -> bool -> unit
+(** While frozen the store ignores observations; lookups still work.
+    Measurement sweeps freeze after the learning passes so plan choices
+    cannot depend on execution order. *)
 
 val size : t -> int
 (** Number of remembered sub-join cardinalities. *)
+
+val entries : t -> (string * float) list
+(** [(signature, value)] pairs, sorted; for tests and reports. *)
+
+val clear : t -> unit
+
+val to_json : t -> Rdb_obs.Json.t
+val of_json : Rdb_obs.Json.t -> t option
+
+val save : t -> string -> unit
+(** Write the store as one JSON document. *)
+
+val load : string -> t option
+(** Read a store written by {!save}; [None] on a missing or malformed
+    file. *)

@@ -201,15 +201,46 @@ let temp_schema session (q : Query.t) temp_cols =
        temp_cols)
 
 let run ?lint ?verify ?work_budget ?deadline_ms ?(cleanup = true)
-    ?(max_steps = 32) ?initial session ~trigger ~mode q0 =
+    ?(max_steps = 32) ?initial ?feedback session ~trigger ~mode q0 =
   let lint =
     match lint with Some b -> b | None -> Rdb_analysis.Debug.enabled ()
   in
   let verify =
     match verify with Some b -> b | None -> Rdb_verify.Debug.enabled ()
   in
+  let feedback =
+    match feedback with Some _ as fb -> fb | None -> Session.feedback session
+  in
+  (* Rewrites renumber relations and splice in temp tables, so an
+     observation on the rewritten query must not be keyed against it
+     verbatim: [origin.(i)] is the set of q0's relations that rewritten
+     relation [i] stands for, composed across steps. A temp relation maps
+     to the union of the origins of what it materialized, so every
+     observation — including each step's own temp_rows — lands on an
+     original-query signature over base tables. *)
+  let map_set origin s =
+    Relset.fold (fun i acc -> Relset.union origin.(i) acc) s Relset.empty
+  in
+  let learn_card origin set rows =
+    match feedback with
+    | None -> ()
+    | Some fb ->
+      Feedback.observe_card fb ~catalog:(Session.catalog session) q0
+        (map_set origin set) rows
+  in
+  let learn_exec origin (res : Executor.result) =
+    match feedback with
+    | None -> ()
+    | Some fb ->
+      List.iter
+        (fun (obs : Executor.node_obs) ->
+          Feedback.observe_card fb ~catalog:(Session.catalog session) q0
+            (map_set origin obs.Executor.obs_set)
+            obs.Executor.obs_actual)
+        res.Executor.observations
+  in
   let temp_names = ref [] in
-  let rec loop q steps plan_times step_count =
+  let rec loop q origin steps plan_times step_count =
     let prepared =
       match initial with
       | Some p when step_count = 0 && Session.query p == q -> p
@@ -231,8 +262,13 @@ let run ?lint ?verify ?work_budget ?deadline_ms ?(cleanup = true)
       let final_exec =
         Trace.span "reopt.execute"
           ~attrs:[ ("query", q.Query.name) ]
-          (fun () -> Session.execute ?work_budget ?deadline_ms prepared plan)
+          (fun () ->
+            (* learn:false — the session would key observations against
+               the rewritten query; learn_exec re-keys them below. *)
+            Session.execute ?work_budget ?deadline_ms ~learn:false prepared
+              plan)
       in
+      learn_exec origin final_exec;
       (q, plan, final_exec, List.rev steps, List.rev plan_times)
     | Some (jnode, set, est, q_err) ->
       let temp_cols = needed_cols q set in
@@ -285,7 +321,20 @@ let run ?lint ?verify ?work_budget ?deadline_ms ?(cleanup = true)
           query_after = q';
         }
       in
-      loop q' (step :: steps) plan_times (step_count + 1)
+      (* The materialization just paid for a true cardinality; remember it
+         under the original query's signature. *)
+      learn_card origin set (Table.nrows table);
+      let keep =
+        List.filter
+          (fun i -> not (Relset.mem i set))
+          (List.init (Query.n_rels q) Fun.id)
+      in
+      let origin' =
+        Array.append
+          (Array.of_list (List.map (fun i -> origin.(i)) keep))
+          [| map_set origin set |]
+      in
+      loop q' origin' (step :: steps) plan_times (step_count + 1)
   in
   let cleanup_temps () =
     List.iter
@@ -294,7 +343,7 @@ let run ?lint ?verify ?work_budget ?deadline_ms ?(cleanup = true)
         Rdb_stats.Db_stats.drop (Session.stats session) ~table:name)
       !temp_names
   in
-  match loop q0 [] [] 0 with
+  match loop q0 (Array.init (Query.n_rels q0) Relset.singleton) [] [] 0 with
   | final_query, final_plan, final_exec, steps, plan_times ->
     if cleanup then cleanup_temps ();
     (* plan_times.(0) planned the original query; plan_times.(i) planned

@@ -51,6 +51,7 @@ val run :
   ?cleanup:bool ->
   ?max_steps:int ->
   ?initial:Session.prepared ->
+  ?feedback:Feedback.t ->
   Session.t ->
   trigger:Trigger.t ->
   mode:Rdb_card.Estimator.mode ->
@@ -60,6 +61,12 @@ val run :
     (re-)planning, so re-optimization composes with perfect-(n) as in
     Figure 8. [cleanup] (default true) drops the temporary tables from the
     catalog afterwards. [max_steps] (default 32) bounds the loop.
+    [feedback] (default: the session's store, if any) receives every
+    observed true cardinality — each step's materialized row count and the
+    final execution's per-node observations — re-keyed against the
+    *original* query: rewrites renumber relations and splice in temp
+    tables, so the loop composes a per-relation origin map across steps
+    and records every observation under a base-table signature.
     [lint] (default: the [RDB_LINT=1] environment check) lints every plan
     and every rewritten query (with its temp table substituted); error
     findings raise [Rdb_analysis.Debug.Lint_failed].

@@ -15,28 +15,40 @@ type t = {
   catalog : Catalog.t;
   stats : Db_stats.t;
   cost_params : Rdb_cost.Cost_model.params;
+  feedback : Feedback.t option;
   mutable temp_counter : int;
 }
 
-let create ?(cost_params = Rdb_cost.Cost_model.default) catalog =
+let create ?(cost_params = Rdb_cost.Cost_model.default) ?feedback catalog =
   (* Make RDB_LINT=1 / RDB_VERIFY=1 effective for every session-driven
      pipeline: the optimizer's hooks are refs precisely so the plan layer
      need not depend on the libraries that check it. *)
   Rdb_analysis.Debug.install ();
   Rdb_verify.Debug.install ();
-  { catalog; stats = Db_stats.create (); cost_params; temp_counter = 0 }
+  {
+    catalog;
+    stats = Db_stats.create ();
+    cost_params;
+    feedback;
+    temp_counter = 0;
+  }
 
 let with_stats_of parent =
   {
     catalog = Catalog.copy parent.catalog;
     stats = Db_stats.copy parent.stats;
     cost_params = parent.cost_params;
+    (* Deliberately shared, not copied: the store is mutex-protected and
+       records true cardinalities, so parallel workers learning into one
+       knowledge base always agree on values. *)
+    feedback = parent.feedback;
     temp_counter = 0;
   }
 
 let catalog t = t.catalog
 let stats t = t.stats
 let cost_params t = t.cost_params
+let feedback t = t.feedback
 
 (* ANALYZE moves the statistics a plan was costed against, so it counts as
    a modification of the table: the server's plan cache keys its staleness
@@ -132,9 +144,72 @@ let plan_robust ?lint ?verify ?sensitivity ?(pessimistic = false) ?log
       in
       (plan, stats, estimator))
 
-let execute ?work_budget ?deadline_ms ?adaptive p plan =
+let execute ?work_budget ?deadline_ms ?adaptive ?(learn = true) p plan =
   Trace.span "session.execute"
     ~attrs:[ ("query", p.q.Query.name) ]
     (fun () ->
-      Executor.execute ?work_budget ?deadline_ms ?adaptive
-        ~catalog:p.session.catalog ~query:p.q plan)
+      let res =
+        Executor.execute ?work_budget ?deadline_ms ?adaptive
+          ~catalog:p.session.catalog ~query:p.q plan
+      in
+      (match p.session.feedback with
+       | Some fb when learn ->
+         Feedback.observe fb ~catalog:p.session.catalog p.q res
+       | Some _ | None -> ());
+      res)
+
+(* Feedback estimation: consult the session's store before the default
+   composition. Naive mode serves every fresh correction — the paper's
+   §IV-E warning is that a *partially* corrected query mixes true and
+   mis-estimated cardinalities, and the optimizer, now confidently wrong,
+   pivots onto estimates that are still bad. Gated mode therefore
+   validates at the plan level: plan with the corrections served, give
+   every confirmed subset a point envelope (its correction is a true
+   cardinality by construction) and every other subset the paper's
+   factor-32 error model, and ask the robustness analyzer whether any
+   corner of the unconfirmed envelopes flips the chosen plan. No flip
+   means the plan's shape does not depend on any estimate the store has
+   not confirmed — accept it. Otherwise drop the corrections at or under
+   the unconfirmed pivots ({!Feedback.gate}) and re-validate the cheaper
+   mix; if even that plan pivots on an unconfirmed estimate, the query
+   keeps its uncorrected default plan. *)
+let feedback_mode ?(gated = false) p fb =
+  let catalog = p.session.catalog in
+  let lookup s = Feedback.lookup fb ~catalog p.q s in
+  if not gated then Estimator.Feedback lookup
+  else begin
+    (* Unconfirmed estimates may be wrong by the paper's factor 32 — but
+       never outside the verifier's sound cardinality bounds, whose
+       intersection keeps the gate from rejecting plans over errors that
+       provably cannot happen. *)
+    let unconfirmed =
+      let bound_ctx =
+        Rdb_verify.Card_bound.create ~catalog ~stats:p.session.stats p.q
+      in
+      Rdb_analysis.Sensitivity.intersect
+        (Rdb_analysis.Sensitivity.q_envelope 32.0)
+        (Rdb_analysis.Sensitivity.of_intervals
+           (Rdb_verify.Card_bound.interval bound_ctx))
+    in
+    let unconfirmed_pivots eff_lookup =
+      let mode = Estimator.Feedback eff_lookup in
+      let chosen, _, estimator = plan p ~mode in
+      let envelope set ~est =
+        match eff_lookup set with
+        | Some v -> (v, v)
+        | None -> unconfirmed set ~est
+      in
+      let report =
+        Rdb_analysis.Sensitivity.analyze ~envelope ~corner_replans:true
+          ~corner_limit:max_int ~space:p.space
+          ~cost_params:p.session.cost_params ~catalog ~estimator p.q chosen
+      in
+      Rdb_analysis.Sensitivity.fragile_sets report
+    in
+    match unconfirmed_pivots lookup with
+    | [] -> Estimator.Feedback lookup
+    | fragile ->
+      let filtered = Feedback.gate ~fragile lookup in
+      if unconfirmed_pivots filtered = [] then Estimator.Feedback filtered
+      else Estimator.Default
+  end

@@ -16,8 +16,13 @@ module Executor := Rdb_exec.Executor
 
 type t
 
-val create : ?cost_params:Rdb_cost.Cost_model.params -> Catalog.t -> t
-(** Wrap a populated catalog. Statistics start empty: call {!analyze}. *)
+val create :
+  ?cost_params:Rdb_cost.Cost_model.params -> ?feedback:Feedback.t ->
+  Catalog.t -> t
+(** Wrap a populated catalog. Statistics start empty: call {!analyze}.
+    [feedback], when given, makes every {!execute} record observed true
+    cardinalities into the store (LEO-style learning); planning only
+    consults it under {!feedback_mode}. *)
 
 val with_stats_of : t -> t
 (** A fresh session for another domain of the parallel runner: shallow
@@ -31,6 +36,9 @@ val with_stats_of : t -> t
 val catalog : t -> Catalog.t
 val stats : t -> Db_stats.t
 val cost_params : t -> Rdb_cost.Cost_model.params
+
+val feedback : t -> Feedback.t option
+(** The session's feedback store, shared with {!with_stats_of} clones. *)
 
 val analyze : ?buckets:int -> ?mcv_slots:int -> t -> unit
 (** ANALYZE every table (the paper's maximum statistics target). *)
@@ -86,5 +94,25 @@ val plan_robust :
     uncertainty interval that widens with join depth. *)
 
 val execute :
-  ?work_budget:int -> ?deadline_ms:float -> ?adaptive:bool -> prepared ->
-  Plan.t -> Executor.result
+  ?work_budget:int -> ?deadline_ms:float -> ?adaptive:bool -> ?learn:bool ->
+  prepared -> Plan.t -> Executor.result
+(** [learn] (default true) records the execution's observed cardinalities
+    into the session's feedback store, when one is attached. [Reopt.run]
+    passes [false] and instead re-keys observations against the original
+    query — a rewritten query's relation indices point at temp tables,
+    and learning them verbatim would mis-key the store. *)
+
+val feedback_mode : ?gated:bool -> prepared -> Feedback.t -> Estimator.mode
+(** An estimation mode that consults the feedback store before the
+    default composition. [gated] (default false) validates the corrected
+    plan with [Rdb_analysis.Sensitivity]: corrected subsets get point
+    envelopes (their values are observed true cardinalities), all others
+    the factor-32 error model, and the corrected plan is accepted only
+    when no corner of the unconfirmed envelopes flips the DP choice —
+    i.e. the plan's shape does not pivot on any estimate the store has
+    not confirmed, the exact failure mode of the paper's
+    corrections-can-hurt result (§IV-E). A rejected plan is retried with
+    the corrections at or under the unconfirmed pivots dropped
+    ([Feedback.gate]); if the re-validation also fails, the mode degrades
+    to [Default] for this query. Gated mode pays up to two sensitivity
+    analyses (with corner replans) at planning time. *)

@@ -716,22 +716,25 @@ let qerror lab =
 
 let leo lab =
   let feedback = Rdb_core.Feedback.create () in
+  let catalog = Session.catalog (Runner.session lab) in
   let run_pass ~learn ~use =
     List.fold_left
       (fun acc q ->
         let prepared = Runner.prepared_of lab q in
         let mode =
-          if use then Estimator.Overrides (Rdb_core.Feedback.overrides_for feedback q)
+          if use then Session.feedback_mode prepared feedback
           else Estimator.Default
         in
         let plan, _, _ = Session.plan prepared ~mode in
         let exec_ms =
           try
             let res =
+              (* learn:false — this experiment's private store, not the
+                 session's, decides what is remembered per pass. *)
               Session.execute ~work_budget:60_000_000 ~deadline_ms:4_000.0
-                prepared plan
+                ~learn:false prepared plan
             in
-            if learn then Rdb_core.Feedback.observe feedback q res;
+            if learn then Rdb_core.Feedback.observe feedback ~catalog q res;
             res.Executor.elapsed_ms
           with Executor.Work_budget_exceeded { elapsed_ms; _ } -> elapsed_ms
         in
@@ -756,6 +759,48 @@ let leo lab =
   ^ Printf.sprintf "\n%d sub-join cardinalities remembered\n"
       (Rdb_core.Feedback.size feedback)
 
+
+(* ---- persistent feedback store, naive vs gated (SS IV-E / SS V) ---- *)
+
+let feedback_exp lab =
+  let r = Feedback_sweep.run lab in
+  let total get =
+    List.fold_left
+      (fun acc row -> acc +. (get row).Runner.m_exec_ms)
+      0.0 r.Feedback_sweep.fr_rows
+    /. 1000.0
+  in
+  let count_list name = function
+    | [] -> Printf.sprintf "%s: none" name
+    | l ->
+      Printf.sprintf "%s: %s" name
+        (String.concat ", "
+           (List.map (fun (q, ratio) -> Printf.sprintf "%s (%.1fx)" q ratio) l))
+  in
+  Pretty.heading
+    "Feedback corrections, naive vs fragility-gated (SS IV-E: corrections can hurt)"
+  ^ "\n"
+  ^ Pretty.series ~title:"workload execution (s) per estimation mode"
+      [
+        ("default", total (fun row -> row.Feedback_sweep.fs_default));
+        ("naive feedback", total (fun row -> row.Feedback_sweep.fs_naive));
+        ("gated feedback", total (fun row -> row.Feedback_sweep.fs_gated));
+        ( Printf.sprintf "perfect-(%d)" r.Feedback_sweep.fr_perfect_n,
+          total (fun row -> row.Feedback_sweep.fs_perfect) );
+      ]
+  ^ "\n"
+  ^ count_list "naive materially worse"
+      r.Feedback_sweep.fr_naive_regressions
+  ^ "\n"
+  ^ count_list "gated materially worse"
+      r.Feedback_sweep.fr_gated_regressions
+  ^ "\n"
+  ^ Printf.sprintf
+      "%d corrections remembered; dp pairs default/naive/gated %d/%d/%d; \
+       %d store probes (bound %d)\n"
+      r.Feedback_sweep.fr_store_size r.Feedback_sweep.fr_default_pairs
+      r.Feedback_sweep.fr_naive_pairs r.Feedback_sweep.fr_gated_pairs
+      r.Feedback_sweep.fr_naive_lookups r.Feedback_sweep.fr_lookup_bound
 
 (* ---- adaptive operator selection (SS II-D) ---- *)
 
@@ -817,6 +862,11 @@ let prewarm ~jobs lab name =
       ignore (Runner.run_grid ~jobs lab [ Runner.Default ]);
       let top20 = List.map (Runner.query lab) (top20_queries lab) in
       ignore (Runner.run_grid ~jobs ~queries:top20 lab fig1_configs)
+    | "feedback" ->
+      (* The sweep orders its own phases (learn before freeze before
+         measure); the cheap re-run inside [feedback_exp] then hits the
+         measurement cache. *)
+      ignore (Feedback_sweep.run ~jobs lab)
     | name ->
       (match grid_configs lab name with
        | [] -> ()
@@ -842,6 +892,7 @@ let named =
     ("robust", `Lab robust);
     ("qerror", `Lab qerror);
     ("leo", `Lab leo);
+    ("feedback", `Lab feedback_exp);
     ("adaptive", `Lab adaptive);
   ]
 

@@ -85,6 +85,10 @@ val leo : Runner.lab -> string
 (** §IV-E: a LEO-style feedback loop — execute, remember true
     cardinalities, re-plan future passes with them. *)
 
+val feedback_exp : Runner.lab -> string
+(** §IV-E done right: the {!Feedback_sweep} comparison of naive vs
+    fragility-gated corrections against default and perfect-(n). *)
+
 val adaptive : Runner.lab -> string
 (** §II-D ablation: Cuttlefish-style runtime operator switching, which
     cannot repair join order, vs re-optimization, which can. *)

@@ -16,6 +16,8 @@ type config =
   | Sampling_est of int
   | Robust of float
   | Adaptive
+  | Feedback_naive
+  | Feedback_gated
 
 let config_name = function
   | Default -> "default"
@@ -26,6 +28,8 @@ let config_name = function
   | Sampling_est size -> Printf.sprintf "sampling-%d" size
   | Robust u -> Printf.sprintf "robust-%g" u
   | Adaptive -> "adaptive"
+  | Feedback_naive -> "feedback-naive"
+  | Feedback_gated -> "feedback-gated"
 
 type measurement = {
   m_query : string;
@@ -52,7 +56,11 @@ type lab = {
 let create_lab ?(seed = 42) ?(scale = 1.0) ?(work_budget = 60_000_000)
     ?(deadline_ms = 4_000.0) () =
   let catalog = Rdb_imdb.Imdb_gen.generate ~seed ~scale () in
-  let session = Session.create catalog in
+  (* Every lab carries a feedback store: executions learn true
+     cardinalities as they run, and the feedback configurations below
+     plan from what has been learned. Estimation is unaffected unless a
+     feedback configuration is asked for. *)
+  let session = Session.create ~feedback:(Rdb_core.Feedback.create ()) catalog in
   Session.analyze session;
   let queries = Rdb_imdb.Job_queries.all catalog in
   {
@@ -82,8 +90,16 @@ let prepared_of lab q =
     Hashtbl.replace lab.prepared q.Query.name p;
     p
 
+let feedback lab =
+  match Session.feedback lab.session with
+  | Some fb -> fb
+  | None -> invalid_arg "Runner.feedback: lab has no feedback store"
+
 let mode_of_config lab q = function
   | Default | Reopt _ | Robust _ | Adaptive -> Estimator.Default
+  | Feedback_naive -> Session.feedback_mode (prepared_of lab q) (feedback lab)
+  | Feedback_gated ->
+    Session.feedback_mode ~gated:true (prepared_of lab q) (feedback lab)
   | Sampling_est size ->
     Estimator.Sampling
       (Rdb_card.Join_sample.create ~sample_size:size
@@ -177,7 +193,7 @@ let run_query lab config q =
           try
             match config with
             | Default | Perfect _ | Perfect_all | Sampling_est _ | Robust _
-            | Adaptive ->
+            | Adaptive | Feedback_naive | Feedback_gated ->
               measure_plain lab config q
             | Reopt thr | Perfect_reopt (_, thr) ->
               measure_reopt lab config q thr

@@ -13,13 +13,18 @@ val create_lab :
   unit -> lab
 (** Generate the database (default scale 1.0, seed 42), ANALYZE it, and
     bind the workload. [work_budget] (default [60_000_000] work units) and
-    [deadline_ms] (default 4s) cap catastrophic plan executions. *)
+    [deadline_ms] (default 4s) cap catastrophic plan executions. The lab's
+    session carries a feedback store, so every executed cell contributes
+    true cardinalities the feedback configurations can plan from. *)
 
 val session : lab -> Session.t
 val queries : lab -> Query.t list
 val query : lab -> string -> Query.t
 val prepared_of : lab -> Query.t -> Session.prepared
 val scale : lab -> float
+
+val feedback : lab -> Rdb_core.Feedback.t
+(** The lab session's feedback store. *)
 
 type config =
   | Default                        (** PostgreSQL-style estimates *)
@@ -30,6 +35,8 @@ type config =
   | Sampling_est of int            (** index-based join sampling, given sample size *)
   | Robust of float                (** Rio-style worst-case planning, given uncertainty *)
   | Adaptive                       (** runtime operator switching (Cuttlefish-style) *)
+  | Feedback_naive                 (** every fresh feedback correction served (LEO) *)
+  | Feedback_gated                 (** corrections gated by fragility analysis *)
 
 val config_name : config -> string
 

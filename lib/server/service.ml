@@ -152,8 +152,18 @@ let execute_plan t sess ?deadline_ms canonical plan =
   let deadline_ms =
     match deadline_ms with Some _ -> deadline_ms | None -> t.config.deadline_ms
   in
-  Executor.execute ?work_budget:t.config.work_budget ?deadline_ms
-    ~catalog:(Session.catalog sess) ~query:canonical plan
+  let res =
+    Executor.execute ?work_budget:t.config.work_budget ?deadline_ms
+      ~catalog:(Session.catalog sess) ~query:canonical plan
+  in
+  (* Cache hits bypass Session.execute, so feed the feedback store here:
+     the canonical query is exactly what was executed, and the store is
+     shared across every worker clone. A later stats refresh bumps the
+     modification counters and retires what was learned. *)
+  (match Session.feedback sess with
+   | Some fb -> Rdb_core.Feedback.observe fb ~catalog:(Session.catalog sess) canonical res
+   | None -> ());
+  res
 
 (* A miss plans the canonical query. With re-optimization enabled, a run
    that replaced the plan writes an improved plan back: the canonical query
@@ -208,6 +218,13 @@ let plan_and_execute t sess ?deadline_ms ~key ~cqnf ~epoch canonical =
             ~catalog:(Session.catalog sess) ~estimator canonical
         in
         Metrics.incr "cache.writebacks";
+        (* Reopt.run has already recorded the materialized true
+           cardinalities into the session's feedback store (re-keyed to
+           the canonical query), so the write-back is persistent: future
+           *similar* queries — not just this cached form — start from
+           them. Count those write-backs distinctly. *)
+        if Option.is_some (Session.feedback sess) then
+          Metrics.incr "feedback.writebacks";
         plan
     in
     Plan_cache.insert t.cache ~key ~cqnf ~canonical ~plan ~epoch;

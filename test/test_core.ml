@@ -421,17 +421,192 @@ let test_feedback_learns_and_transfers () =
   let prepared = Session.prepare session q in
   let plan, _, _ = Session.plan prepared ~mode:Estimator.Default in
   let res = Session.execute prepared plan in
-  Rdb_core.Feedback.observe feedback q res;
+  Rdb_core.Feedback.observe feedback ~catalog q res;
   check Alcotest.bool "learned something" true (Rdb_core.Feedback.size feedback > 0);
   (* the full set's cardinality is now known exactly *)
   let full = Relset.full (Query.n_rels q) in
-  (match Rdb_core.Feedback.lookup feedback q full with
+  (match Rdb_core.Feedback.lookup feedback ~catalog q full with
    | Some v ->
      check (Alcotest.float 0.5) "full-set card learned"
        (float_of_int res.Executor.out_rows) v
    | None -> Alcotest.fail "full set not learned");
-  let overrides = Rdb_core.Feedback.overrides_for feedback q in
-  check Alcotest.bool "overrides non-empty" true (Hashtbl.length overrides > 0)
+  (* planning under the feedback mode serves the correction through the
+     estimator's memo — demand-driven, no eager subset sweep *)
+  let mode = Session.feedback_mode prepared feedback in
+  let _plan, _, est = Session.plan prepared ~mode in
+  check (Alcotest.float 0.5) "estimator serves learned card"
+    (Float.max 1.0 (float_of_int res.Executor.out_rows))
+    (Rdb_card.Estimator.card est full)
+
+(* A session created with a store learns from every [Session.execute];
+   observations recorded before a table's mod_count moves are dropped the
+   moment it does. *)
+let make_feedback_session scale =
+  let catalog = Rdb_imdb.Imdb_gen.generate ~scale () in
+  let feedback = Rdb_core.Feedback.create () in
+  let session = Session.create ~feedback catalog in
+  Session.analyze session;
+  (catalog, session, feedback)
+
+(* The pre-PR encoding, reproduced verbatim: members/predicates joined
+   with bare "|" / ";" separators around raw Predicate.to_sql output. *)
+let legacy_rel_signature (q : Query.t) rel =
+  let preds =
+    Query.preds_of_cols q rel
+    |> List.map (fun (col, p) ->
+           Rdb_query.Predicate.to_sql ~col:(Printf.sprintf "c%d" col) p)
+    |> List.sort String.compare
+  in
+  Printf.sprintf "%s[%s]" q.Query.rels.(rel).Query.table
+    (String.concat ";" preds)
+
+let legacy_signature (q : Query.t) s =
+  let members =
+    Relset.to_list s
+    |> List.map (legacy_rel_signature q)
+    |> List.sort String.compare
+  in
+  String.concat "|" members ^ "||"
+
+let handmade name rels preds =
+  {
+    Query.name;
+    rels = Array.of_list rels;
+    preds;
+    edges = [];
+    select = [ Query.Count_star ];
+  }
+
+let str_eq rel col s =
+  {
+    Query.target = { Query.rel; col };
+    p = Rdb_query.Predicate.Cmp (Rdb_query.Predicate.Eq, Value.Str s);
+  }
+
+let test_feedback_signature_injective () =
+  (* Two relations of [t], restricted to '' and 'a' — versus one relation
+     of [t] whose string constant smuggles in the separators. Under the
+     legacy separator-joined encoding both render to the same key; the
+     length-prefixed encoding must keep them apart. *)
+  let rel a = { Query.alias = a; table = "t" } in
+  let q2 = handmade "two" [ rel "a"; rel "b" ] [ str_eq 0 0 ""; str_eq 1 0 "a" ] in
+  let q1 = handmade "one" [ rel "a" ] [ str_eq 0 0 "']|t[c0 = 'a" ] in
+  let s2 = Relset.of_list [ 0; 1 ] and s1 = Relset.of_list [ 0 ] in
+  check Alcotest.string "legacy encoding collides (the bug)"
+    (legacy_signature q2 s2) (legacy_signature q1 s1);
+  check Alcotest.bool "length-prefixed encoding distinguishes" true
+    (Rdb_core.Feedback.signature q2 s2 <> Rdb_core.Feedback.signature q1 s1);
+  (* A second adversarial pair: one predicate whose constant embeds the
+     legacy ";" pred separator vs two genuine predicates. *)
+  let qa = handmade "semi" [ rel "a" ] [ str_eq 0 0 "x';c1 = 'y" ] in
+  let qb = handmade "pair" [ rel "a" ] [ str_eq 0 0 "x"; str_eq 0 1 "y" ] in
+  let s = Relset.of_list [ 0 ] in
+  check Alcotest.string "legacy encoding collides on preds"
+    (legacy_signature qa s) (legacy_signature qb s);
+  check Alcotest.bool "length-prefixed preds distinguish" true
+    (Rdb_core.Feedback.signature qa s <> Rdb_core.Feedback.signature qb s)
+
+let test_feedback_staleness () =
+  let catalog, _session, feedback = make_feedback_session 0.01 in
+  let q = Rdb_imdb.Job_queries.find catalog "1a" in
+  let s = Relset.of_list [ 0; 1 ] in
+  Rdb_core.Feedback.observe_card feedback ~catalog q s 42;
+  (match Rdb_core.Feedback.lookup feedback ~catalog q s with
+   | Some v -> check (Alcotest.float 0.001) "served while fresh" 42.0 v
+   | None -> Alcotest.fail "fresh entry not served");
+  (* ingest/ANALYZE on a member table bumps its mod_count: the correction
+     must no longer be served, and the entry is dropped *)
+  Catalog.touch catalog q.Query.rels.(0).Query.table;
+  check Alcotest.bool "stale entry not served" true
+    (Rdb_core.Feedback.lookup feedback ~catalog q s = None);
+  check Alcotest.int "stale entry dropped" 0 (Rdb_core.Feedback.size feedback)
+
+let test_feedback_persistence_roundtrip () =
+  let catalog, session, feedback = make_feedback_session 0.02 in
+  let q = Rdb_imdb.Job_queries.find catalog "1a" in
+  let prepared = Session.prepare session q in
+  let plan, _, _ = Session.plan prepared ~mode:Estimator.Default in
+  (* the session was created with the store: execute learns into it *)
+  let _res = Session.execute prepared plan in
+  check Alcotest.bool "session learned" true
+    (Rdb_core.Feedback.size feedback > 0);
+  let path = Filename.temp_file "rdb_feedback" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Rdb_core.Feedback.save feedback path;
+      match Rdb_core.Feedback.load path with
+      | None -> Alcotest.fail "saved store failed to load"
+      | Some loaded ->
+        check Alcotest.int "same size" (Rdb_core.Feedback.size feedback)
+          (Rdb_core.Feedback.size loaded);
+        check Alcotest.bool "identical entries" true
+          (Rdb_core.Feedback.entries feedback
+          = Rdb_core.Feedback.entries loaded);
+        (* identical lookups, epochs included *)
+        let full = Relset.full (Query.n_rels q) in
+        check Alcotest.bool "identical lookups" true
+          (Rdb_core.Feedback.lookup loaded ~catalog q full
+          = Rdb_core.Feedback.lookup feedback ~catalog q full))
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_feedback_reopt_rekeys () =
+  let catalog, session, feedback = make_feedback_session 0.02 in
+  let q = Rdb_imdb.Job_queries.find catalog "6d" in
+  let trigger = Trigger.create 2.0 in
+  let outcome = Reopt.run session ~trigger ~mode:Estimator.Default q in
+  check Alcotest.bool "re-opt stepped" true (outcome.Reopt.steps <> []);
+  (* the first step's materialized set is in the original numbering: its
+     paid-for true cardinality must be remembered under the original
+     query's signature *)
+  let step0 = List.hd outcome.Reopt.steps in
+  (match
+     Rdb_core.Feedback.lookup feedback ~catalog q
+       step0.Reopt.materialized_set
+   with
+   | Some v ->
+     check (Alcotest.float 0.5) "materialized card re-keyed"
+       (float_of_int step0.Reopt.temp_rows) v
+   | None -> Alcotest.fail "materialized set not learned");
+  (* the final execution ran a rewritten query over temp tables, yet the
+     full-set observation lands on the original query's full set *)
+  let full = Relset.full (Query.n_rels q) in
+  (match Rdb_core.Feedback.lookup feedback ~catalog q full with
+   | Some v ->
+     check (Alcotest.float 0.5) "final exec re-keyed"
+       (float_of_int outcome.Reopt.final_exec.Executor.out_rows) v
+   | None -> Alcotest.fail "full set not learned from re-opt run");
+  (* no signature may mention a temp table: those keys are session-local
+     garbage no later query could ever match *)
+  List.iter
+    (fun (key, _) ->
+      check Alcotest.bool "no temp-table keys" false
+        (contains_sub key "temp_"))
+    (Rdb_core.Feedback.entries feedback)
+
+let test_feedback_gate_blocks_fragile () =
+  let tbl = Hashtbl.create 8 in
+  let set l = Relset.of_list l in
+  Hashtbl.replace tbl (set [ 0 ]) 10.0;
+  Hashtbl.replace tbl (set [ 0; 1; 2 ]) 500.0;
+  Hashtbl.replace tbl (set [ 3 ]) 7.0;
+  Hashtbl.replace tbl (set [ 0; 3 ]) 70.0;
+  let lookup s = Hashtbl.find_opt tbl s in
+  let fragile = [ set [ 0; 1; 2 ] ] in
+  let gated = Rdb_core.Feedback.gate ~fragile lookup in
+  check Alcotest.bool "correction below a fragile join blocked" true
+    (gated (set [ 0 ]) = None);
+  check Alcotest.bool "correction on the fragile join itself blocked" true
+    (gated (set [ 0; 1; 2 ]) = None);
+  check Alcotest.bool "unrelated correction served" true
+    (gated (set [ 3 ]) = Some 7.0);
+  check Alcotest.bool "non-subset overlap served" true
+    (gated (set [ 0; 3 ]) = Some 70.0);
+  check Alcotest.bool "misses stay misses" true (gated (set [ 5 ]) = None)
 
 let () =
   Alcotest.run "rdb_core"
@@ -463,6 +638,16 @@ let () =
             test_feedback_signature_distinguishes_preds;
           Alcotest.test_case "learns and transfers" `Quick
             test_feedback_learns_and_transfers;
+          Alcotest.test_case "injective signatures" `Quick
+            test_feedback_signature_injective;
+          Alcotest.test_case "staleness on mod_count bump" `Quick
+            test_feedback_staleness;
+          Alcotest.test_case "persistence round-trip" `Quick
+            test_feedback_persistence_roundtrip;
+          Alcotest.test_case "re-opt observations re-keyed" `Quick
+            test_feedback_reopt_rekeys;
+          Alcotest.test_case "gate blocks fragile corrections" `Quick
+            test_feedback_gate_blocks_fragile;
         ] );
       ( "find_trigger",
         [
