@@ -416,13 +416,22 @@ let cmd_lint =
               (* Third finding source, on the default config only: the
                  plan-robustness analyzer, with a few corner replans to
                  surface joins whose estimate the plan choice hinges on. *)
-              if mode = Estimator.Default then
+              if mode = Estimator.Default then begin
                 report
                   (Printf.sprintf "%s [%s]" name label)
                   (Rdb_analysis.Sensitivity.check ~threshold
                      ~corner_replans:true ~corner_limit:4
                      ~space:(Session.space prepared) ~catalog ~estimator:est
-                     q plan)
+                     q plan);
+                (* Fourth finding source: the static resource certifier —
+                   well-formedness of the sound memory/work envelope (the
+                   full certified-vs-observed sweep is `reoptdb
+                   resources`). *)
+                let cert = Session.certify ~estimator:est prepared plan in
+                report
+                  (Printf.sprintf "%s [%s]" name label)
+                  (Rdb_analysis.Resource.findings q cert)
+              end
             (* With RDB_LINT=1 in the environment the in-loop hook raises
                before we can report; keep sweeping the other configs. *)
             | exception Rdb_analysis.Debug.Lint_failed findings ->
@@ -547,6 +556,209 @@ let cmd_lint =
           are merged in. Exits non-zero on error-severity findings.")
     Term.(const run $ lint_scale_arg $ seed_arg $ threshold_arg $ perfect_arg
           $ source_arg)
+
+(* ---- resources ---- *)
+
+let cmd_resources =
+  let module Finding = Rdb_analysis.Finding in
+  let module Resource = Rdb_analysis.Resource in
+  let module Interval = Rdb_cost.Interval in
+  let module J = Rdb_obs.Json in
+  let res_scale_arg =
+    Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"FACTOR"
+           ~doc:"Database scale factor. The sweep executes every query to \
+                 hold the certificates against observed peaks, so it \
+                 defaults to the lint-sized database.")
+  in
+  let threshold_arg =
+    Arg.(value & opt float 32.0 & info [ "reopt" ] ~docv:"THRESHOLD"
+           ~doc:"Q-error threshold of the certified re-opt transition \
+                 simulation (thrashing and useless-materialization \
+                 analysis).")
+  in
+  let budget_arg =
+    Arg.(value & opt (some float) None & info [ "budget" ] ~docv:"SLOTS"
+           ~doc:"Report an error finding for every query whose certified \
+                 peak memory exceeds SLOTS row-slots — the admission \
+                 decision `reoptdb serve --mem-budget` would make, as an \
+                 offline sweep.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
+           ~doc:"Write the sweep report — wall time plus every query's \
+                 certified intervals and observed peak/work — as JSON to \
+                 PATH (the BENCH_resources.json artifact).")
+  in
+  let run scale seed threshold budget json_path =
+    let catalog, session = make_session ~scale ~seed () in
+    let queries = Rdb_imdb.Job_queries.all catalog in
+    let t0 = Unix.gettimeofday () in
+    let collected : (string * Finding.t) list ref = ref [] in
+    let report ctx findings =
+      List.iter (fun (f : Finding.t) -> collected := (ctx, f) :: !collected)
+        findings
+    in
+    let n_capped = ref 0 and n_thrash = ref 0 and rows = ref [] in
+    (* Tolerance for holding integer executor counters against float
+       interval endpoints. *)
+    let slack = 0.5 in
+    List.iter
+      (fun (q : Rdb_query.Query.t) ->
+        let name = q.Rdb_query.Query.name in
+        let prepared = Session.prepare session q in
+        let plan, _, estimator = Session.plan prepared ~mode:Estimator.Default in
+        let cert =
+          Session.certify ~transitions:true ~threshold ~estimator prepared plan
+        in
+        report name (Resource.findings ?budget q cert);
+        (match cert.Resource.cert_reopt with
+         | Some ro when ro.Resource.ro_thrashing <> None -> incr n_thrash
+         | Some _ | None -> ());
+        (* Dynamic validation: the certificate must dominate a real
+           (non-adaptive) execution. A capped run still observed a prefix
+           of the full execution, so hi-bounds apply; lo-bounds only
+           constrain complete runs. *)
+        let unsound what v (i : Interval.t) ~capped =
+          let out = ref [] in
+          if v > i.Interval.hi +. slack then
+            out :=
+              [ Finding.error ~code:"resource-cert-unsound"
+                  (Printf.sprintf
+                     "observed %s %.0f exceeds certified hi-bound %.1f" what v
+                     i.Interval.hi) ];
+          if (not capped) && v < i.Interval.lo -. slack then
+            out :=
+              Finding.error ~code:"resource-cert-unsound"
+                (Printf.sprintf
+                   "observed %s %.0f undercuts certified lo-bound %.1f" what v
+                   i.Interval.lo)
+              :: !out;
+          !out
+        in
+        let observed =
+          match
+            Session.execute ~work_budget:60_000_000 ~deadline_ms:4000.0
+              prepared plan
+          with
+          | res ->
+            let w = float_of_int res.Executor.work
+            and p = float_of_int res.Executor.peak_rows
+            and o = float_of_int res.Executor.out_rows in
+            report name (unsound "work" w cert.Resource.cert_work ~capped:false);
+            report name
+              (unsound "peak memory" p cert.Resource.cert_mem ~capped:false);
+            report name
+              (unsound "output rows" o cert.Resource.cert_out ~capped:false);
+            Some (res.Executor.peak_rows, res.Executor.work, false)
+          | exception Executor.Work_budget_exceeded { spent; _ } ->
+            incr n_capped;
+            report name
+              (unsound "work" (float_of_int spent) cert.Resource.cert_work
+                 ~capped:true);
+            Some (0, spent, true)
+        in
+        let iv_doc (i : Interval.t) =
+          J.Obj [ ("lo", J.Float i.Interval.lo); ("hi", J.Float i.Interval.hi) ]
+        in
+        rows :=
+          J.Obj
+            ([ ("query", J.Str name);
+               ("shape", J.Str cert.Resource.cert_shape);
+               ("mem", iv_doc cert.Resource.cert_mem);
+               ("work", iv_doc cert.Resource.cert_work);
+               ("out", iv_doc cert.Resource.cert_out);
+               ("replans_hi", J.Int cert.Resource.cert_replans_hi) ]
+             @ (match cert.Resource.cert_reopt with
+                | None -> []
+                | Some ro ->
+                  [ ("predicted_replans", J.Int ro.Resource.ro_predicted_replans);
+                    ("thrashing", J.Bool (ro.Resource.ro_thrashing <> None)) ])
+             @
+             match observed with
+             | None -> []
+             | Some (peak, work, capped) ->
+               [ ("observed_peak", J.Int peak);
+                 ("observed_work", J.Int work);
+                 ("capped", J.Bool capped) ])
+          :: !rows)
+      queries;
+    (* Same reporting discipline as lint: dedupe per query, severity-then-
+       query stable order, so CI output diffs cleanly. *)
+    let seen = Hashtbl.create 256 in
+    let deduped =
+      List.filter
+        (fun (ctx, (f : Finding.t)) ->
+          let key = (ctx, Finding.to_string f) in
+          if Hashtbl.mem seen key then false
+          else (Hashtbl.add seen key (); true))
+        (List.rev !collected)
+    in
+    let sev_rank (f : Finding.t) =
+      match f.Finding.severity with
+      | Finding.Error -> 0
+      | Finding.Warning -> 1
+      | Finding.Info -> 2
+    in
+    let sorted =
+      List.stable_sort
+        (fun (c1, f1) (c2, f2) ->
+          match compare (sev_rank f1) (sev_rank f2) with
+          | 0 -> (
+            match compare c1 c2 with
+            | 0 -> compare (Finding.to_string f1) (Finding.to_string f2)
+            | c -> c)
+          | c -> c)
+        deduped
+    in
+    List.iter
+      (fun (ctx, f) -> Printf.printf "%s: %s\n" ctx (Finding.to_string f))
+      sorted;
+    let n_errors =
+      List.length (List.filter (fun (_, f) -> sev_rank f = 0) sorted)
+    and n_warnings =
+      List.length (List.filter (fun (_, f) -> sev_rank f = 1) sorted)
+    in
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    Printf.printf
+      "resources: %d queries certified and executed (%d capped, %d \
+       simulated thrashers) in %.0fms; %d errors, %d warnings\n"
+      (List.length queries) !n_capped !n_thrash wall_ms n_errors n_warnings;
+    (match json_path with
+     | None -> ()
+     | Some path ->
+       let doc =
+         J.Obj
+           [ ("report", J.Str "resources");
+             ("scale", J.Float scale);
+             ("seed", J.Int seed);
+             ("threshold", J.Float threshold);
+             ( "budget",
+               match budget with Some b -> J.Float b | None -> J.Null );
+             ("wall_ms", J.Float wall_ms);
+             ("errors", J.Int n_errors);
+             ("warnings", J.Int n_warnings);
+             ("queries", J.List (List.rev !rows)) ]
+       in
+       let oc = open_out path in
+       output_string oc (J.to_string doc);
+       output_char oc '\n';
+       close_out oc;
+       Printf.eprintf "resources report written to %s\n%!" path);
+    if n_errors > 0 then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "resources"
+       ~doc:
+         "Certify every workload query's default plan — sound \
+          [lo, hi] bounds on peak resident memory (row-slots), total \
+          executor work and output rows, a structural worst-case replan \
+          count, and a simulated re-opt transition graph with thrashing \
+          and useless-materialization detection — then execute it and \
+          hold the certificate against the observed counters. Exits 1 on \
+          any unsound certificate, malformed interval, or (with --budget) \
+          over-budget query; 0 otherwise.")
+    Term.(const run $ res_scale_arg $ seed_arg $ threshold_arg $ budget_arg
+          $ json_arg)
 
 (* ---- verify ---- *)
 
@@ -1135,7 +1347,20 @@ let revalidate_arg =
                inside the verifier's sound cardinality bounds before \
                invalidating it.")
 
-let service_of ~scale ~seed ~jobs ~cache ~reopt ~revalidate =
+let mem_budget_arg =
+  Arg.(value & opt (some float) None & info [ "mem-budget" ] ~docv:"SLOTS"
+         ~doc:"Admission control: reject any plan whose statically \
+               certified peak memory (row-slots) exceeds this budget. The \
+               certificate is a sound upper bound, so admitted queries \
+               provably stay within it.")
+
+let downgrade_arg =
+  Arg.(value & flag & info [ "downgrade" ]
+         ~doc:"With --mem-budget: run over-budget queries through the \
+               re-optimization loop instead of rejecting them.")
+
+let service_of ~scale ~seed ~jobs ~cache ~reopt ~revalidate ~mem_budget
+    ~downgrade =
   let jobs = if jobs = 0 then Rdb_util.Pool.default_jobs () else jobs in
   (* The serving session carries a feedback store: executions behind cache
      hits and re-opt write-backs observe true cardinalities as a side
@@ -1150,6 +1375,8 @@ let service_of ~scale ~seed ~jobs ~cache ~reopt ~revalidate =
       cache_capacity = cache;
       reopt;
       revalidate;
+      mem_budget;
+      downgrade;
     }
   in
   (jobs, catalog, Rdb_server.Service.create ~config session)
@@ -1163,9 +1390,11 @@ let cmd_serve =
     Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
            ~doc:"Address to bind.")
   in
-  let run scale seed jobs cache reopt revalidate host port =
+  let run scale seed jobs cache reopt revalidate mem_budget downgrade host
+      port =
     let jobs, _catalog, service =
-      service_of ~scale ~seed ~jobs ~cache ~reopt ~revalidate
+      service_of ~scale ~seed ~jobs ~cache ~reopt ~revalidate ~mem_budget
+        ~downgrade
     in
     Printf.printf "reoptdb: listening on %s:%d (scale=%g jobs=%d cache=%d)\n%!"
       host port scale jobs cache;
@@ -1180,10 +1409,13 @@ let cmd_serve =
          "Run the long-running query service: SQL over a line-oriented \
           socket, a worker-domain pool with per-domain session snapshots, \
           and an LRU plan cache keyed on the CQNF canonical form (hits \
-          skip DPccp entirely). Commands: \\\\cache, \\\\metrics, \
-          \\\\refresh, \\\\quit, \\\\shutdown.")
+          skip DPccp entirely). With --mem-budget, every plan's static \
+          resource certificate gates admission. Commands: \\\\cache, \
+          \\\\metrics, \\\\resources, \\\\refresh, \\\\quit, \
+          \\\\shutdown.")
     Term.(const run $ scale_arg $ seed_arg $ serve_jobs_arg $ cache_arg
-          $ serve_reopt_arg $ revalidate_arg $ host_arg $ port_arg)
+          $ serve_reopt_arg $ revalidate_arg $ mem_budget_arg
+          $ downgrade_arg $ host_arg $ port_arg)
 
 (* ---- bench-serve ---- *)
 
@@ -1220,6 +1452,7 @@ let cmd_bench_serve =
       json_path =
     let jobs, catalog, service =
       service_of ~scale ~seed ~jobs ~cache ~reopt ~revalidate
+        ~mem_budget:None ~downgrade:false
     in
     let clients = if clients = 0 then jobs else clients in
     let workload = Array.of_list (Rdb_imdb.Job_queries.all catalog) in
@@ -1492,8 +1725,8 @@ let () =
     Cmd.eval'
       (Cmd.group info
          [ cmd_queries; cmd_sql; cmd_explain; cmd_run; cmd_experiment;
-           cmd_lint; cmd_verify; cmd_fragility; cmd_feedback; cmd_serve;
-           cmd_bench_serve; cmd_racecheck; cmd_json_check ])
+           cmd_lint; cmd_resources; cmd_verify; cmd_fragility; cmd_feedback;
+           cmd_serve; cmd_bench_serve; cmd_racecheck; cmd_json_check ])
   in
   (* cmdliner reports its own parse errors as 124; fold them into the
      uniform contract (2 = usage error) shared by every subcommand. *)

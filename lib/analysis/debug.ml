@@ -53,4 +53,13 @@ let install () =
            those explicitly. *)
         fail_on_errors
           (Sensitivity.check ~threshold ~corner_replans:false ~catalog
-             ~estimator q plan))
+             ~estimator q plan));
+  Rdb_plan.Optimizer.resource_hook :=
+    Some
+      (fun ~catalog ~estimator q plan ->
+        (* Inline hook: certificate well-formedness only — the transition
+           simulation re-enters the optimizer, so the resources/lint
+           sweeps opt into it explicitly, and budgets live in the server's
+           admission controller. *)
+        fail_on_errors
+          (Resource.check ~transitions:false ~catalog ~estimator q plan))

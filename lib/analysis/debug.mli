@@ -20,12 +20,15 @@ val sensitivity_threshold : unit -> float option
     envelope), [Some t] for a numeric value [t >= 1]. *)
 
 val install : unit -> unit
-(** Install the plan-lint hook into [Rdb_plan.Optimizer.lint_hook] and the
+(** Install the plan-lint hook into [Rdb_plan.Optimizer.lint_hook], the
     plan-robustness analyzer into [Rdb_plan.Optimizer.sensitivity_hook]
     (interval cost propagation and cost-consistency checks only — no corner
-    replans on the planning hot path). Idempotent; called by
-    [Rdb_core.Session.create], so any session-based pipeline honors
-    [RDB_LINT=1] / [RDB_SENSITIVITY=...] without further wiring. *)
+    replans on the planning hot path), and the resource certifier into
+    [Rdb_plan.Optimizer.resource_hook] (certificate well-formedness only —
+    no transition simulation, enabled via [RDB_RESOURCE]). Idempotent;
+    called by [Rdb_core.Session.create], so any session-based pipeline
+    honors [RDB_LINT=1] / [RDB_SENSITIVITY=...] / [RDB_RESOURCE=1] without
+    further wiring. *)
 
 val check_query_exn : catalog:Catalog.t -> Rdb_query.Query.t -> unit
 (** Run {!Query_lint.check}; raise {!Lint_failed} on error findings. *)

@@ -1,0 +1,590 @@
+module Relset = Rdb_util.Relset
+module Stat_utils = Rdb_util.Stat_utils
+module Query = Rdb_query.Query
+module Join_graph = Rdb_query.Join_graph
+module Estimator = Rdb_card.Estimator
+module Cost_model = Rdb_cost.Cost_model
+module Interval = Rdb_cost.Interval
+module Plan = Rdb_plan.Plan
+module Optimizer = Rdb_plan.Optimizer
+module Search_space = Rdb_plan.Search_space
+module Db_stats = Rdb_stats.Db_stats
+module Col_stats = Rdb_stats.Col_stats
+module Mcv = Rdb_stats.Mcv
+module Metrics = Rdb_obs.Metrics
+module Json = Rdb_obs.Json
+
+type bounds = Relset.t -> float * float
+
+let trivial_bounds ~catalog (q : Query.t) : bounds =
+ fun set ->
+  let hi =
+    List.fold_left
+      (fun acc r ->
+        let tbl = Catalog.table_exn catalog q.Query.rels.(r).Query.table in
+        acc *. float_of_int (Table.nrows tbl))
+      1.0 (Relset.to_list set)
+  in
+  (0.0, hi)
+
+type transition = {
+  tr_set : Relset.t;
+  tr_aliases : string list;
+  tr_est : float;
+  tr_interval : float * float;
+  tr_assumed : float;
+  tr_temp_slots_hi : float;
+  tr_shape_before : string;
+  tr_shape_after : string;
+  tr_useless : bool;
+}
+
+type reopt_report = {
+  ro_threshold : float;
+  ro_transitions : transition list;
+  ro_predicted_replans : int;
+  ro_stable : bool;
+  ro_thrashing : (string * int * int) option;
+  ro_temp_slots_hi : float;
+}
+
+type cert = {
+  cert_shape : string;
+  cert_mem : Interval.t;
+  cert_work : Interval.t;
+  cert_out : Interval.t;
+  cert_replans_hi : int;
+  cert_reopt : reopt_report option;
+}
+
+(* {1 Interval arithmetic over non-negative quantities}
+
+   Every memory/work recurrence below is a composition of sums, products
+   and maxima of terms monotone (non-decreasing) in each cardinality
+   input, so corner evaluation — the formula at all-lower and at all-upper
+   endpoints — is the exact interval image, the same argument
+   [Rdb_cost.Interval] rests on. *)
+
+let iv lo hi = { Interval.lo; hi }
+let imax a b = iv (Float.max a.Interval.lo b.Interval.lo) (Float.max a.Interval.hi b.Interval.hi)
+let iadd a b = Interval.add a b
+let imul a b = iv (a.Interval.lo *. b.Interval.lo) (a.Interval.hi *. b.Interval.hi)
+let iscale a k = iv (a.Interval.lo *. k) (a.Interval.hi *. k)
+
+(* Upper bound on the executor's integer sort cost n*(1 + floor(log2 n))
+   for any n <= r; the extra +1 absorbs the float log's rounding. *)
+let sort_hi r =
+  if r <= 1.0 then r else r *. (2.0 +. Float.log (Float.max 1.0 r) /. Float.log 2.0)
+
+(* {1 MCV max-frequency}
+
+   A sound per-value row-count bound for an (analyzed) column: the MCV
+   list keeps the most frequent values occurring at least twice, so an
+   unlisted value's count never exceeds the top listed count, and an
+   empty list on an analyzed column (histogram present) means no value
+   occurs twice at all. Rows appended after ANALYZE (guarded by the live
+   vs. analyzed row-count delta) could each add one occurrence. *)
+let max_freq stats tbl ~col =
+  let live = float_of_int (Table.nrows tbl) in
+  match Db_stats.col stats ~table:(Table.name tbl) ~col with
+  | None -> live
+  | Some cs ->
+    let analyzed = float_of_int cs.Col_stats.row_count in
+    let appended = Float.max 0.0 (live -. analyzed) in
+    (match Mcv.entries cs.Col_stats.mcv with
+     | (_, f) :: _ -> Float.min live (ceil (f *. analyzed) +. appended)
+     | [] ->
+       (match cs.Col_stats.hist with
+        | Some _ -> Float.min live (1.0 +. appended)
+        | None -> live))
+
+(* As above, but for one specific key value: its exact MCV count when
+   listed, otherwise the least listed count (the list is sorted most
+   frequent first). *)
+let key_freq stats tbl ~col ~key =
+  let live = float_of_int (Table.nrows tbl) in
+  match Db_stats.col stats ~table:(Table.name tbl) ~col with
+  | None -> live
+  | Some cs ->
+    let analyzed = float_of_int cs.Col_stats.row_count in
+    let appended = Float.max 0.0 (live -. analyzed) in
+    let entries = Mcv.entries cs.Col_stats.mcv in
+    let bound =
+      match Mcv.frequency cs.Col_stats.mcv (Value.Int key) with
+      | Some f -> ceil (f *. analyzed)
+      | None ->
+        (match List.rev entries with
+         | (_, f_min) :: _ -> ceil (f_min *. analyzed)
+         | [] -> (match cs.Col_stats.hist with Some _ -> 1.0 | None -> live))
+    in
+    Float.min live (bound +. appended)
+
+(* {1 The abstract interpreter}
+
+   One bottom-up walk mirrors the executor exactly. Per node:
+   - [rows]: the sound interval on true output rows (clamped non-negative
+     and, for scans, to the table size);
+   - [slots]: rows x width — the node's resident footprint once built;
+   - [mem]: interval on the peak resident slots while the subtree runs.
+     The outer intermediate is live while the inner subtree executes, and
+     both inputs plus the operator's transient structures (hash build
+     table: one entry per inner row; merge join: one key cell per row per
+     side) plus the output are live at the operator itself;
+   - [work]: interval on the executor's [spend] total. Emitted-row terms
+     equal the output cardinality (every probe match / merge group pair is
+     emitted); index fan-outs are bounded by MCV max-frequency. *)
+type acc = {
+  rows : Interval.t;
+  slots : Interval.t;
+  mem : Interval.t;
+  work : Interval.t;
+}
+
+let interp ~bounds ~catalog ~stats (q : Query.t) plan =
+  let table_of rel = Catalog.table_exn catalog q.Query.rels.(rel).Query.table in
+  let rows_of set =
+    let lo, hi = bounds set in
+    let lo = Float.max 0.0 lo in
+    iv lo (Float.max lo hi)
+  in
+  let rec go p =
+    match p with
+    | Plan.Scan s ->
+      let rel = s.Plan.scan_rel in
+      let tbl = table_of rel in
+      let n = float_of_int (Table.nrows tbl) in
+      let r = rows_of (Relset.singleton rel) in
+      let r = iv (Float.min r.Interval.lo n) (Float.min r.Interval.hi n) in
+      let work =
+        match s.Plan.access with
+        | Plan.Seq_scan -> iv n n
+        | Plan.Index_scan { col; key } ->
+          iv r.Interval.lo (Float.max r.Interval.lo (key_freq stats tbl ~col ~key))
+      in
+      { rows = r; slots = r; mem = r; work }
+    | Plan.Join j ->
+      let o = go j.Plan.outer in
+      let set =
+        Relset.union (Plan.rel_set j.Plan.outer) (Plan.rel_set j.Plan.inner)
+      in
+      let out_rows = rows_of set in
+      let out_slots = iscale out_rows (float_of_int (Relset.cardinal set)) in
+      (* Peak for a blocking join: the outer subtree alone, then the outer
+         result alive during the inner subtree, then both inputs + the
+         operator's transient structures + the output. *)
+      let blocking i aux =
+        imax o.mem (imax (iadd o.slots i.mem) (iadd (iadd o.slots i.slots) (iadd aux out_slots)))
+      in
+      (match j.Plan.algo with
+       | Plan.Hash_join ->
+         let i = go j.Plan.inner in
+         {
+           rows = out_rows;
+           slots = out_slots;
+           mem = blocking i i.rows;
+           work =
+             iadd (iadd o.work i.work) (iadd (iadd i.rows o.rows) out_rows);
+         }
+       | Plan.Merge_join ->
+         let i = go j.Plan.inner in
+         let sort_terms =
+           iv 0.0 (sort_hi o.rows.Interval.hi +. sort_hi i.rows.Interval.hi)
+         in
+         {
+           rows = out_rows;
+           slots = out_slots;
+           mem = blocking i (iadd o.rows i.rows);
+           work =
+             iadd (iadd o.work i.work)
+               (iadd (iadd o.rows i.rows) (iadd sort_terms out_rows));
+         }
+       | Plan.Nested_loop ->
+         let i = go j.Plan.inner in
+         {
+           rows = out_rows;
+           slots = out_slots;
+           mem = blocking i (iv 0.0 0.0);
+           work = iadd (iadd o.work i.work) (imul o.rows i.rows);
+         }
+       | Plan.Index_nl { inner_col } ->
+         (* The inner side is probed through its index, never materialized:
+            only the outer result and the accumulating output are resident.
+            Per outer row the executor charges that key's index fan-out,
+            bounded by the column's max frequency; every emitted row came
+            from a distinct candidate, so the fan-out total is also bounded
+            below by the output. *)
+         let inner_rel =
+           match j.Plan.inner with
+           | Plan.Scan s -> s.Plan.scan_rel
+           | Plan.Join _ -> invalid_arg "Resource: index NL over a join"
+         in
+         let fanout = max_freq stats (table_of inner_rel) ~col:inner_col in
+         {
+           rows = out_rows;
+           slots = out_slots;
+           mem = imax o.mem (iadd o.slots out_slots);
+           work =
+             iadd o.work
+               (iv
+                  (o.rows.Interval.lo +. out_rows.Interval.lo)
+                  (o.rows.Interval.hi *. (1.0 +. fanout)));
+         })
+  in
+  go plan
+
+(* {1 Re-opt transition simulation}
+
+   The real loop (Rdb_core.Reopt) materializes the triggered join, rewrites
+   the query around the temp table and replans. Abstractly, the effect of a
+   materialization on planning is that the set's cardinality becomes known:
+   we confirm the triggered set at its worst admissible corner (a point
+   envelope) and replan the *original* query with that subset pinned — the
+   same machinery as {!Sensitivity.replan}, extended to a set of pinned
+   subsets. A confirmed set can never re-trigger (its estimate now equals
+   its envelope), so every simulated step confirms a fresh subset and the
+   trajectory terminates. *)
+
+let replan_pinned ~space ~cost_params ~catalog ~estimator (q : Query.t)
+    confirmed =
+  Metrics.incr "analysis.resource_replans";
+  let pinned =
+    Estimator.create
+      ~bound:(fun s v ->
+        match List.find_opt (fun (s', _) -> Relset.equal s' s) confirmed with
+        | Some (_, c) -> c
+        | None -> v)
+      ~mode:(Estimator.mode estimator) ~catalog
+      ~stats:(Estimator.db_stats estimator)
+      ?oracle:(Estimator.oracle estimator) q
+  in
+  let p, _stats =
+    Optimizer.plan ~lint:false ~verify:false ~sensitivity:false
+      ~resource:false ~space ~cost_params ~catalog ~estimator:pinned q
+  in
+  p
+
+(* Upper bound on the materialized temp table's column count: Reopt keeps
+   one representative per equivalence class of the crossing-edge endpoints
+   inside the set plus the aggregate columns inside the set, so the
+   distinct such columns bound it from above. *)
+let temp_width_hi (q : Query.t) set =
+  let inside (cr : Query.colref) = Relset.mem cr.Query.rel set in
+  let cols = ref [] in
+  let add (cr : Query.colref) =
+    if
+      not
+        (List.exists
+           (fun (c : Query.colref) ->
+             c.Query.rel = cr.Query.rel && c.Query.col = cr.Query.col)
+           !cols)
+    then cols := cr :: !cols
+  in
+  List.iter
+    (fun ({ l; r } : Query.edge) ->
+      match (inside l, inside r) with
+      | true, false -> add l
+      | false, true -> add r
+      | _ -> ())
+    q.Query.edges;
+  List.iter
+    (function
+      | Query.Count_star -> ()
+      | Query.Count_col cr | Query.Min_col cr | Query.Max_col cr
+      | Query.Sum_col cr ->
+        if inside cr then add cr)
+    q.Query.select;
+  Int.max 1 (List.length !cols)
+
+let detect_oscillation shapes =
+  let arr = Array.of_list shapes in
+  let n = Array.length arr in
+  let found = ref None in
+  (try
+     for i = 0 to n - 1 do
+       for j = i + 1 to n - 1 do
+         if
+           !found = None
+           && String.equal arr.(i) arr.(j)
+           && (let departed = ref false in
+               for m = i + 1 to j - 1 do
+                 if not (String.equal arr.(m) arr.(i)) then departed := true
+               done;
+               !departed)
+         then begin
+           found := Some (arr.(i), i, j);
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !found
+
+let aliases_of q set = List.map (Query.rel_alias q) (Relset.to_list set)
+
+let simulate ~bounds ~threshold ~min_actual_rows ~max_steps ~space
+    ~cost_params ~catalog ~estimator (q : Query.t) plan0 =
+  let space =
+    match space with
+    | Some s -> s
+    | None -> Search_space.build (Join_graph.make q)
+  in
+  let envelope =
+    Sensitivity.intersect (Sensitivity.q_envelope threshold)
+      (Sensitivity.of_intervals bounds)
+  in
+  let replan = replan_pinned ~space ~cost_params ~catalog ~estimator q in
+  let confirmed = ref [] in
+  let transitions = ref [] in
+  let shapes = ref [ Plan.shape q plan0 ] in
+  let rec loop step plan =
+    if step >= max_steps then false
+    else begin
+      let env s ~est =
+        match
+          List.find_opt (fun (s', _) -> Relset.equal s' s) !confirmed
+        with
+        | Some (_, c) -> (c, c)
+        | None -> envelope s ~est
+      in
+      match
+        Sensitivity.predict_trigger ~min_actual_rows ~envelope:env ~threshold
+          q plan
+      with
+      | None -> true
+      | Some p ->
+        let set = p.Sensitivity.pred_set in
+        let est = p.Sensitivity.pred_est in
+        let lo, hi = p.Sensitivity.pred_interval in
+        let assumed =
+          if
+            Stat_utils.q_error ~est ~actual:lo
+            >= Stat_utils.q_error ~est ~actual:hi
+          then lo
+          else hi
+        in
+        let corners =
+          if Float.abs (hi -. lo) <= 1e-9 *. Float.max 1.0 (Float.abs hi) then
+            [ lo ]
+          else [ lo; hi ]
+        in
+        let replanned =
+          List.map (fun c -> (c, replan ((set, c) :: !confirmed))) corners
+        in
+        let useless =
+          List.for_all (fun (_, p') -> Plan.same_shape plan p') replanned
+        in
+        confirmed := (set, assumed) :: !confirmed;
+        let plan' =
+          match List.assoc_opt assumed replanned with
+          | Some p' -> p'
+          | None -> replan !confirmed
+        in
+        let shape_before = Plan.shape q plan in
+        let shape_after = Plan.shape q plan' in
+        let _, bhi = bounds set in
+        transitions :=
+          {
+            tr_set = set;
+            tr_aliases = aliases_of q set;
+            tr_est = est;
+            tr_interval = (lo, hi);
+            tr_assumed = assumed;
+            tr_temp_slots_hi =
+              Float.max 0.0 bhi *. float_of_int (temp_width_hi q set);
+            tr_shape_before = shape_before;
+            tr_shape_after = shape_after;
+            tr_useless = useless;
+          }
+          :: !transitions;
+        shapes := shape_after :: !shapes;
+        loop (step + 1) plan'
+    end
+  in
+  let stable = loop 0 plan0 in
+  let transitions = List.rev !transitions in
+  {
+    ro_threshold = threshold;
+    ro_transitions = transitions;
+    ro_predicted_replans = List.length transitions;
+    ro_stable = stable;
+    ro_thrashing = detect_oscillation (List.rev !shapes);
+    ro_temp_slots_hi =
+      List.fold_left (fun acc t -> acc +. t.tr_temp_slots_hi) 0.0 transitions;
+  }
+
+let default_threshold = 32.0
+let default_max_steps = 32
+
+let certify ?bounds ?(transitions = false) ?(threshold = default_threshold)
+    ?(min_actual_rows = 0) ?(max_steps = default_max_steps) ?space
+    ?(cost_params = Cost_model.default) ~catalog ~estimator (q : Query.t)
+    plan =
+  Metrics.incr "analysis.resource_certs";
+  let bounds =
+    match bounds with Some b -> b | None -> trivial_bounds ~catalog q
+  in
+  let stats = Estimator.db_stats estimator in
+  let a = interp ~bounds ~catalog ~stats q plan in
+  (* Each re-opt step materializes a join of >= 2 relations, so the
+     rewritten query has at least one relation fewer; a single-relation
+     query has no joins to trigger on. *)
+  let replans_hi = Int.max 0 (Int.min max_steps (Query.n_rels q - 1)) in
+  let cert_reopt =
+    if not transitions then None
+    else
+      Some
+        (simulate ~bounds ~threshold ~min_actual_rows
+           ~max_steps:replans_hi ~space ~cost_params ~catalog ~estimator q
+           plan)
+  in
+  {
+    cert_shape = Plan.shape q plan;
+    cert_mem = a.mem;
+    cert_work = a.work;
+    cert_out = a.rows;
+    cert_replans_hi = replans_hi;
+    cert_reopt;
+  }
+
+let mem_hi cert = cert.cert_mem.Interval.hi
+
+let rows_str v =
+  if Float.abs v < 1e7 && Float.equal (Float.round v) v then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.3g" v
+
+let interval_str (i : Interval.t) =
+  Printf.sprintf "[%s, %s]" (rows_str i.Interval.lo) (rows_str i.Interval.hi)
+
+let string_of_aliases aliases = String.concat "," aliases
+
+let findings ?budget (_q : Query.t) cert =
+  let fs = ref [] in
+  let add f = fs := f :: !fs in
+  let malformed (i : Interval.t) =
+    i.Interval.lo > i.Interval.hi || i.Interval.lo < 0.0
+    || Float.is_nan i.Interval.lo || Float.is_nan i.Interval.hi
+  in
+  List.iter
+    (fun (name, i) ->
+      if malformed i then
+        add
+          (Finding.error ~code:"resource-cert-invalid"
+             (Printf.sprintf "%s interval %s of plan %s is malformed" name
+                (interval_str i) cert.cert_shape)))
+    [ ("memory", cert.cert_mem); ("work", cert.cert_work);
+      ("output", cert.cert_out) ];
+  (match budget with
+  | Some b when mem_hi cert > b ->
+    add
+      (Finding.error ~code:"resource-over-budget"
+         (Printf.sprintf
+            "plan %s: certified peak memory %s row-slots exceeds the budget \
+             of %s — admission control must reject or downgrade it"
+            cert.cert_shape (interval_str cert.cert_mem) (rows_str b)))
+  | Some _ | None -> ());
+  (match cert.cert_reopt with
+  | None -> ()
+  | Some ro ->
+    (match ro.ro_thrashing with
+    | Some (shape, i, j) ->
+      add
+        (Finding.warning ~code:"resource-thrashing"
+           (Printf.sprintf
+              "re-plan loop oscillates: shape %s at step %d is re-planned \
+               back into at step %d (threshold %g) — re-optimization \
+               thrashes instead of converging"
+              shape i j ro.ro_threshold))
+    | None -> ());
+    List.iter
+      (fun t ->
+        if t.tr_useless then
+          add
+            (Finding.warning ~code:"resource-useless-materialization"
+               (Printf.sprintf
+                  "materializing join {%s} (est %s, plausible %s) cannot \
+                   change the DP choice at any admissible cardinality — \
+                   the trigger would pay up to %s temp cells for nothing"
+                  (string_of_aliases t.tr_aliases) (rows_str t.tr_est)
+                  (Printf.sprintf "[%s, %s]"
+                     (rows_str (fst t.tr_interval))
+                     (rows_str (snd t.tr_interval)))
+                  (rows_str t.tr_temp_slots_hi))))
+      ro.ro_transitions);
+  if not (List.exists (fun f -> f.Finding.severity = Finding.Error) !fs) then
+    add
+      (Finding.info ~code:"resource-certificate"
+         (Printf.sprintf
+            "plan %s: peak memory %s row-slots, work %s units, output %s \
+             rows, at most %d replans%s"
+            cert.cert_shape (interval_str cert.cert_mem)
+            (interval_str cert.cert_work)
+            (interval_str cert.cert_out)
+            cert.cert_replans_hi
+            (match cert.cert_reopt with
+            | Some ro ->
+              Printf.sprintf " (%d predicted%s)" ro.ro_predicted_replans
+                (if ro.ro_stable then ", stable" else "")
+            | None -> "")));
+  List.rev !fs
+
+let check ?bounds ?budget ?transitions ?threshold ?space ?cost_params
+    ~catalog ~estimator q plan =
+  let cert =
+    certify ?bounds ?transitions ?threshold ?space ?cost_params ~catalog
+      ~estimator q plan
+  in
+  findings ?budget q cert
+
+let json_interval (i : Interval.t) =
+  Json.Obj [ ("lo", Json.Float i.Interval.lo); ("hi", Json.Float i.Interval.hi) ]
+
+let to_json cert =
+  let transition t =
+    Json.Obj
+      [
+        ("aliases", Json.List (List.map (fun a -> Json.Str a) t.tr_aliases));
+        ("est", Json.Float t.tr_est);
+        ("interval_lo", Json.Float (fst t.tr_interval));
+        ("interval_hi", Json.Float (snd t.tr_interval));
+        ("assumed", Json.Float t.tr_assumed);
+        ("temp_slots_hi", Json.Float t.tr_temp_slots_hi);
+        ("shape_before", Json.Str t.tr_shape_before);
+        ("shape_after", Json.Str t.tr_shape_after);
+        ("useless", Json.Bool t.tr_useless);
+      ]
+  in
+  Json.Obj
+    ([
+       ("shape", Json.Str cert.cert_shape);
+       ("mem", json_interval cert.cert_mem);
+       ("work", json_interval cert.cert_work);
+       ("out", json_interval cert.cert_out);
+       ("replans_hi", Json.Int cert.cert_replans_hi);
+     ]
+    @
+    match cert.cert_reopt with
+    | None -> []
+    | Some ro ->
+      [
+        ( "reopt",
+          Json.Obj
+            [
+              ("threshold", Json.Float ro.ro_threshold);
+              ("predicted_replans", Json.Int ro.ro_predicted_replans);
+              ("stable", Json.Bool ro.ro_stable);
+              ( "thrashing",
+                match ro.ro_thrashing with
+                | None -> Json.Null
+                | Some (shape, i, j) ->
+                  Json.Obj
+                    [
+                      ("shape", Json.Str shape);
+                      ("first", Json.Int i);
+                      ("again", Json.Int j);
+                    ] );
+              ("temp_slots_hi", Json.Float ro.ro_temp_slots_hi);
+              ( "transitions",
+                Json.List (List.map transition ro.ro_transitions) );
+            ] );
+      ])

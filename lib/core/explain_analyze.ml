@@ -68,6 +68,7 @@ let render ?trigger ?(bounds = false) prepared plan (res : Executor.result) =
   in
   Explain.render ~notes q plan
   ^ Printf.sprintf
-      "\n%d rows into aggregates | work %d | exec %.2fms | adaptive switches %d\n"
-      res.Executor.out_rows res.Executor.work res.Executor.elapsed_ms
-      res.Executor.switches
+      "\n%d rows into aggregates | work %d | peak %d row-slots | exec %.2fms \
+       | adaptive switches %d\n"
+      res.Executor.out_rows res.Executor.work res.Executor.peak_rows
+      res.Executor.elapsed_ms res.Executor.switches

@@ -29,6 +29,7 @@ type outcome = {
   total_plan_ms : float;
   total_exec_ms : float;
   total_work : int;
+  peak_rows : int;
 }
 
 (* Union-find over column references, used to collapse columns that the
@@ -240,6 +241,13 @@ let run ?lint ?verify ?work_budget ?deadline_ms ?(cleanup = true)
         res.Executor.observations
   in
   let temp_names = ref [] in
+  (* Observed peak resident row-slots across the whole re-opt run: every
+     phase (materialization or final execution) runs with the temp tables
+     of earlier steps still live — one cell per row per column, the same
+     unit as [Executor.result.peak_rows] — so the run's peak is the max
+     over phases of (live temp cells + the phase executor's peak). *)
+  let live_slots = ref 0 in
+  let peak = ref 0 in
   let rec loop q origin steps plan_times step_count =
     let prepared =
       match initial with
@@ -269,6 +277,7 @@ let run ?lint ?verify ?work_budget ?deadline_ms ?(cleanup = true)
               plan)
       in
       learn_exec origin final_exec;
+      peak := Int.max !peak (!live_slots + final_exec.Executor.peak_rows);
       (q, plan, final_exec, List.rev steps, List.rev plan_times)
     | Some (jnode, set, est, q_err) ->
       let temp_cols = needed_cols q set in
@@ -282,6 +291,7 @@ let run ?lint ?verify ?work_budget ?deadline_ms ?(cleanup = true)
               ~catalog:(Session.catalog session) ~query:q ~cols:temp_cols
               (Plan.Join jnode))
       in
+      peak := Int.max !peak (!live_slots + mat.Executor.mat_peak_rows);
       let temp_name = Session.fresh_temp_name session in
       temp_names := temp_name :: !temp_names;
       let schema = temp_schema session q temp_cols in
@@ -289,6 +299,7 @@ let run ?lint ?verify ?work_budget ?deadline_ms ?(cleanup = true)
         Table.of_rows ~name:temp_name ~schema mat.Executor.mat_rows
       in
       Catalog.add_table (Session.catalog session) table;
+      live_slots := !live_slots + (Table.nrows table * List.length temp_cols);
       Trace.span "reopt.analyze"
         ~attrs:[ ("table", temp_name) ]
         (fun () -> Session.analyze_table session temp_name);
@@ -369,6 +380,7 @@ let run ?lint ?verify ?work_budget ?deadline_ms ?(cleanup = true)
       total_plan_ms = List.fold_left ( +. ) 0.0 plan_times;
       total_exec_ms = mat_ms +. final_exec.Executor.elapsed_ms;
       total_work = mat_work + final_exec.Executor.work;
+      peak_rows = !peak;
     }
   | exception e ->
     if cleanup then cleanup_temps ();

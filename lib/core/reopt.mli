@@ -41,6 +41,11 @@ type outcome = {
   total_plan_ms : float;   (** initial plan + every re-plan *)
   total_exec_ms : float;   (** materializations + final execution *)
   total_work : int;
+  peak_rows : int;
+      (** peak resident row-slots across the whole run: each phase's
+          executor peak plus the temp-table cells of every earlier step,
+          still live until cleanup — the re-opt analog of
+          [Executor.result.peak_rows] *)
 }
 
 val run :

@@ -144,6 +144,31 @@ let plan_robust ?lint ?verify ?sensitivity ?(pessimistic = false) ?log
       in
       (plan, stats, estimator))
 
+(* The resource certifier with the session's sound bounds: the verifier's
+   cardinality intervals drive the memory/work corner evaluation, and the
+   prepared search space is reused across the transition simulation's
+   pinned replans. *)
+let certify ?transitions ?threshold ?max_steps ?estimator p plan =
+  Trace.span "session.certify"
+    ~attrs:[ ("query", p.q.Query.name) ]
+    (fun () ->
+      let estimator =
+        match estimator with
+        | Some e -> e
+        | None ->
+          Estimator.create ~mode:Estimator.Default ~catalog:p.session.catalog
+            ~stats:p.session.stats ~oracle:p.oracle p.q
+      in
+      let ctx =
+        Rdb_verify.Card_bound.create ~catalog:p.session.catalog
+          ~stats:p.session.stats p.q
+      in
+      Rdb_analysis.Resource.certify
+        ~bounds:(Rdb_verify.Card_bound.interval ctx)
+        ?transitions ?threshold ?max_steps ~space:p.space
+        ~cost_params:p.session.cost_params ~catalog:p.session.catalog
+        ~estimator p.q plan)
+
 let execute ?work_budget ?deadline_ms ?adaptive ?(learn = true) p plan =
   Trace.span "session.execute"
     ~attrs:[ ("query", p.q.Query.name) ]

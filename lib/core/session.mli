@@ -93,6 +93,23 @@ val plan_robust :
 (** Rio-style proactive planning: minimize worst-case cost over an
     uncertainty interval that widens with join depth. *)
 
+val certify :
+  ?transitions:bool ->
+  ?threshold:float ->
+  ?max_steps:int ->
+  ?estimator:Estimator.t ->
+  prepared ->
+  Plan.t ->
+  Rdb_analysis.Resource.cert
+(** Certify a plan's resource envelope ([Rdb_analysis.Resource.certify])
+    with the verifier's sound cardinality intervals as bounds — certified
+    hi-bounds dominate any non-adaptive execution's observed
+    [Executor.result.peak_rows] and [work]. [transitions] (default false)
+    additionally simulates the re-opt replan loop (thrashing and
+    useless-materialization detection). [estimator] defaults to a fresh
+    [Default]-mode estimator; pass the one that produced the plan so the
+    transition simulation replans under the same estimation mode. *)
+
 val execute :
   ?work_budget:int -> ?deadline_ms:float -> ?adaptive:bool -> ?learn:bool ->
   prepared -> Plan.t -> Executor.result

@@ -16,6 +16,7 @@ type result = {
   aggs : Value.t list;
   out_rows : int;
   work : int;
+  peak_rows : int;
   elapsed_ms : float;
   observations : node_obs list;
   switches : int;
@@ -40,6 +41,13 @@ type ctx = {
   mutable obs : node_obs list;
   adaptive : bool;
   mutable switches : int;
+  (* Resident row-slots (one rowid or key cell each): live intermediates
+     plus the transient per-operator structures (hash build table, merge
+     key arrays). [peak] is the high-water mark, updated at operator
+     boundaries — the dynamic side of [Rdb_analysis.Resource]'s certified
+     memory interval, so the two must charge identical quantities. *)
+  mutable resident : int;
+  mutable peak : int;
 }
 
 (* The deadline clock is read on a geometric schedule: the first check
@@ -71,6 +79,14 @@ let spend ctx n =
       raise (Work_budget_exceeded { spent = ctx.work; elapsed_ms = e })
     end
   | Some _ | None -> ()
+
+let slots inter = inter.nrows * inter.width
+
+let alloc ctx n =
+  ctx.resident <- ctx.resident + n;
+  if ctx.resident > ctx.peak then ctx.peak <- ctx.resident
+
+let release ctx n = ctx.resident <- ctx.resident - n
 
 let pos_of_rel inter rel =
   let rec scan i =
@@ -400,6 +416,7 @@ let rec exec ctx node =
   match node with
   | Plan.Scan s ->
     let inter = scan_node ctx s in
+    alloc ctx (slots inter);
     observe ctx node inter "Scan";
     inter
   | Plan.Join j ->
@@ -416,24 +433,44 @@ let rec exec ctx node =
       | algo -> algo
     in
     let j = { j with Plan.algo } in
+    (* Charge the operator's transient structures and the two inputs for
+       the duration of the join, then keep only the output resident. The
+       hash build table holds one entry per inner row; a merge join
+       extracts one key cell per row on each side. *)
+    let joined aux inner =
+      alloc ctx aux;
+      let inter =
+        match j.Plan.algo with
+        | Plan.Hash_join -> hash_join ctx j outer inner
+        | Plan.Nested_loop -> nested_loop ctx j outer inner
+        | Plan.Merge_join -> merge_join ctx j outer inner
+        | Plan.Index_nl _ -> invalid_arg "Executor: index NL is not blocking"
+      in
+      alloc ctx (slots inter);
+      release ctx (aux + slots outer + slots inner);
+      inter
+    in
     let inter =
       match j.Plan.algo with
       | Plan.Hash_join ->
         let inner = exec ctx j.Plan.inner in
-        hash_join ctx j outer inner
+        joined inner.nrows inner
       | Plan.Nested_loop ->
         let inner = exec ctx j.Plan.inner in
-        nested_loop ctx j outer inner
+        joined 0 inner
       | Plan.Merge_join ->
         let inner = exec ctx j.Plan.inner in
-        merge_join ctx j outer inner
+        joined (outer.nrows + inner.nrows) inner
       | Plan.Index_nl { inner_col } ->
         let inner_rel =
           match j.Plan.inner with
           | Plan.Scan s -> s.Plan.scan_rel
           | Plan.Join _ -> invalid_arg "Executor: index NL over a join"
         in
-        index_nl ctx j outer inner_rel inner_col
+        let inter = index_nl ctx j outer inner_rel inner_col in
+        alloc ctx (slots inter);
+        release ctx (slots outer);
+        inter
     in
     observe ctx node inter (Plan.algo_name j.Plan.algo);
     inter
@@ -455,6 +492,8 @@ let make_ctx ?work_budget ?deadline_ms ?(adaptive = false) ~catalog ~query () =
     obs = [];
     adaptive;
     switches = 0;
+    resident = 0;
+    peak = 0;
   }
 
 let eval_aggs ctx inter =
@@ -500,10 +539,12 @@ let execute ?work_budget ?deadline_ms ?adaptive ~catalog ~query plan =
   let aggs = eval_aggs ctx inter in
   Metrics.incr "exec.queries";
   Metrics.incr ~by:ctx.work "exec.work";
+  Metrics.observe "exec.peak_rows" (float_of_int ctx.peak);
   {
     aggs;
     out_rows = inter.nrows;
     work = ctx.work;
+    peak_rows = ctx.peak;
     elapsed_ms = elapsed_ms ctx;
     observations = List.rev ctx.obs;
     switches = ctx.switches;
@@ -512,12 +553,16 @@ let execute ?work_budget ?deadline_ms ?adaptive ~catalog ~query plan =
 type materialization = {
   mat_rows : Value.t array list;
   mat_work : int;
+  mat_peak_rows : int;
   mat_elapsed_ms : float;
 }
 
 let materialize ?work_budget ?deadline_ms ~catalog ~query ~cols plan =
   let ctx = make_ctx ?work_budget ?deadline_ms ~catalog ~query () in
   let inter = exec ctx plan in
+  (* The projected temp-table rows are resident alongside the final
+     intermediate while they are built: one slot per projected cell. *)
+  alloc ctx (inter.nrows * List.length cols);
   let sources =
     Array.of_list
       (List.map (fun (cr : Query.colref) -> (pos_of_rel inter cr.Query.rel, cr.Query.col)) cols)
@@ -534,4 +579,5 @@ let materialize ?work_budget ?deadline_ms ~catalog ~query ~cols plan =
     rows := row :: !rows
   done;
   Metrics.incr ~by:ctx.work "exec.work";
-  { mat_rows = !rows; mat_work = ctx.work; mat_elapsed_ms = elapsed_ms ctx }
+  { mat_rows = !rows; mat_work = ctx.work; mat_peak_rows = ctx.peak;
+    mat_elapsed_ms = elapsed_ms ctx }

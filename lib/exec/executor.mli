@@ -23,10 +23,20 @@ type result = {
   aggs : Value.t list;   (** one value per aggregate in the SELECT list *)
   out_rows : int;        (** rows feeding the aggregates *)
   work : int;            (** deterministic work units *)
+  peak_rows : int;       (** peak resident row-slots, see below *)
   elapsed_ms : float;    (** wall-clock execution time *)
   observations : node_obs list;  (** post-order, deepest join first *)
   switches : int;        (** adaptive operator demotions performed *)
 }
+(** [peak_rows] is the high-water mark of resident "row-slots" (one
+    base-table rowid or extracted key cell each), sampled at operator
+    boundaries: live intermediates are [nrows * width] slots, a hash join
+    additionally holds one build-table entry per inner row while it runs,
+    and a merge join one key cell per row on each side. This is the
+    deterministic memory analog of [work], and the quantity
+    [Rdb_analysis.Resource] certificates bound: certified executions
+    (non-adaptive — a demotion changes the operator mix underneath the
+    certificate) must observe [peak_rows] within the certified interval. *)
 
 exception Work_budget_exceeded of { spent : int; elapsed_ms : float }
 (** Raised when the optional work budget runs out: the executor's guard
@@ -54,6 +64,8 @@ val execute :
 type materialization = {
   mat_rows : Value.t array list;  (** row-major projection *)
   mat_work : int;
+  mat_peak_rows : int;  (** as {!result.peak_rows}, including the projected
+                            cells built alongside the final intermediate *)
   mat_elapsed_ms : float;
 }
 

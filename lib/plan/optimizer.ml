@@ -61,6 +61,21 @@ let run_sensitivity_hook ~sensitivity ~catalog ~estimator q plan =
     | Some hook -> hook ~catalog ~estimator q plan
     | None -> ()
 
+let resource_hook : lint_hook option ref = ref None
+
+let resource_enabled ?resource () =
+  match resource with
+  | Some b -> b
+  | None -> (match Sys.getenv_opt "RDB_RESOURCE" with
+             | Some ("" | "0" | "false") | None -> false
+             | Some _ -> true)
+
+let run_resource_hook ~resource ~catalog ~estimator q plan =
+  if resource_enabled ?resource () then
+    match !resource_hook with
+    | Some hook -> hook ~catalog ~estimator q plan
+    | None -> ()
+
 (* Cartesian products are unsupported (as in the paper's workload); a
    disconnected join graph is a query bug, so name the components to make
    the report actionable. *)
@@ -222,13 +237,15 @@ let dp ?space ?(cost_params = Cost_model.default) ~catalog ~estimator (q : Query
       plan_ms = elapsed;
     } )
 
-let plan ?lint ?verify ?sensitivity ?space ?cost_params ~catalog ~estimator q =
+let plan ?lint ?verify ?sensitivity ?resource ?space ?cost_params ~catalog
+    ~estimator q =
   let best, stats = dp ?space ?cost_params ~catalog ~estimator q in
   match Hashtbl.find_opt best (Relset.full (Query.n_rels q)) with
   | Some p ->
     run_lint_hook ~lint ~catalog ~estimator q p;
     run_verify_hook ~verify ~catalog ~estimator q p;
     run_sensitivity_hook ~sensitivity ~catalog ~estimator q p;
+    run_resource_hook ~resource ~catalog ~estimator q p;
     (p, stats)
   | None -> invalid_arg "Optimizer: no plan found for full relation set"
 
@@ -340,8 +357,8 @@ let dp_robust ?space ?(cost_params = Cost_model.default) ~uncertainty ~catalog
       plan_ms = elapsed;
     } )
 
-let plan_robust ?lint ?verify ?sensitivity ?space ?cost_params ~uncertainty
-    ~catalog ~estimator q =
+let plan_robust ?lint ?verify ?sensitivity ?resource ?space ?cost_params
+    ~uncertainty ~catalog ~estimator q =
   let best, stats =
     dp_robust ?space ?cost_params ~uncertainty ~catalog ~estimator q
   in
@@ -350,6 +367,7 @@ let plan_robust ?lint ?verify ?sensitivity ?space ?cost_params ~uncertainty
     run_lint_hook ~lint ~catalog ~estimator q p;
     run_verify_hook ~verify ~catalog ~estimator q p;
     run_sensitivity_hook ~sensitivity ~catalog ~estimator q p;
+    run_resource_hook ~resource ~catalog ~estimator q p;
     (p, stats)
   | None -> invalid_arg "Optimizer: no robust plan found"
 

@@ -41,10 +41,19 @@ val sensitivity_hook : lint_hook option ref
     e.g. [RDB_SENSITIVITY=32]); installed by [Rdb_analysis.Debug.install].
     Runs after {!verify_hook}. *)
 
+val resource_hook : lint_hook option ref
+(** Fifth analysis layer: the static resource certifier
+    ([Rdb_analysis.Resource]) — sound peak-memory/work intervals and the
+    re-plan transition analysis, run against every chosen plan. Enabled by
+    the [?resource] argument, or by [RDB_RESOURCE] set to anything but
+    [0]/[false]; installed by [Rdb_analysis.Debug.install]. Runs after
+    {!sensitivity_hook}. *)
+
 val plan :
   ?lint:bool ->
   ?verify:bool ->
   ?sensitivity:bool ->
+  ?resource:bool ->
   ?space:Search_space.t ->
   ?cost_params:Rdb_cost.Cost_model.params ->
   catalog:Catalog.t ->
@@ -64,6 +73,7 @@ val plan_robust :
   ?lint:bool ->
   ?verify:bool ->
   ?sensitivity:bool ->
+  ?resource:bool ->
   ?space:Search_space.t ->
   ?cost_params:Rdb_cost.Cost_model.params ->
   uncertainty:float ->

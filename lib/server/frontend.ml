@@ -9,6 +9,7 @@ module Json = Rdb_obs.Json
      \quit       close this connection
      \cache      one-line cache statistics
      \metrics    the whole metrics registry as one JSON line
+     \resources  admission budget, counters, cached certificates (JSON)
      \refresh    re-ANALYZE every table (bumps every modification counter)
      \shutdown   stop accepting, drain, and return from [serve]
 
@@ -53,6 +54,9 @@ let handle_line service ~stop oc line =
     true
   | "\\metrics" ->
     Printf.fprintf oc "%s\n" (Json.to_string (Metrics.to_json (Metrics.snapshot ())));
+    true
+  | "\\resources" ->
+    Printf.fprintf oc "%s\n" (Json.to_string (Service.resources_json service));
     true
   | "\\refresh" ->
     Service.refresh_stats service ();

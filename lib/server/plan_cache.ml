@@ -1,6 +1,7 @@
 module Cqnf = Rdb_verify.Cqnf
 module Query = Rdb_query.Query
 module Plan = Rdb_plan.Plan
+module Resource = Rdb_analysis.Resource
 module Metrics = Rdb_obs.Metrics
 
 type entry = {
@@ -9,6 +10,8 @@ type entry = {
   canonical : Query.t;
   (* @guarded_by mu *)
   mutable plan : Plan.t;
+  (* @guarded_by mu *)
+  mutable cert : Resource.cert option;
   (* @guarded_by mu *)
   mutable epoch : (string * int) list;
   (* @guarded_by mu *)
@@ -27,8 +30,8 @@ type t = {
 }
 
 type lookup =
-  | Hit of Query.t * Plan.t
-  | Stale of Query.t * Plan.t
+  | Hit of Query.t * Plan.t * Resource.cert option
+  | Stale of Query.t * Plan.t * Resource.cert option
   | Miss
 
 let create ~capacity =
@@ -67,17 +70,18 @@ let lookup t ~key ~cqnf ~epoch =
         touch_locked t e;
         if e.epoch = epoch then begin
           e.hits <- e.hits + 1;
-          Hit (e.canonical, e.plan)
+          Hit (e.canonical, e.plan, e.cert)
         end
-        else Stale (e.canonical, e.plan))
+        else Stale (e.canonical, e.plan, e.cert))
 
-let insert t ~key ~cqnf ~canonical ~plan ~epoch =
+let insert t ~key ~cqnf ~canonical ~plan ?cert ~epoch () =
   locked t (fun () ->
       (match Hashtbl.find_opt t.tbl key with
        | Some e ->
          (* Raced with another worker planning the same form: keep one
             entry, refreshed. *)
          e.plan <- plan;
+         e.cert <- cert;
          e.epoch <- epoch;
          touch_locked t e
        | None ->
@@ -98,7 +102,7 @@ let insert t ~key ~cqnf ~canonical ~plan ~epoch =
            | None -> ()
          end;
          let e =
-           { key; cqnf; canonical; plan; epoch; last_use = 0; hits = 0 }
+           { key; cqnf; canonical; plan; cert; epoch; last_use = 0; hits = 0 }
          in
          touch_locked t e;
          Hashtbl.replace t.tbl key e;
@@ -122,6 +126,7 @@ let plan_of t ~key =
 let entries t =
   locked t (fun () ->
       Hashtbl.fold
-        (fun _ e acc -> (e.key, e.canonical, e.plan, e.epoch, e.hits) :: acc)
+        (fun _ e acc ->
+          (e.key, e.canonical, e.plan, e.epoch, e.hits, e.cert) :: acc)
         t.tbl []
-      |> List.sort (fun (a, _, _, _, _) (b, _, _, _, _) -> compare a b))
+      |> List.sort (fun (a, _, _, _, _, _) (b, _, _, _, _, _) -> compare a b))

@@ -19,13 +19,16 @@
 module Cqnf := Rdb_verify.Cqnf
 module Query := Rdb_query.Query
 module Plan := Rdb_plan.Plan
+module Resource := Rdb_analysis.Resource
 
 type t
 
 type lookup =
-  | Hit of Query.t * Plan.t
-      (** Same canonical form, same epoch: execute directly. *)
-  | Stale of Query.t * Plan.t
+  | Hit of Query.t * Plan.t * Resource.cert option
+      (** Same canonical form, same epoch: execute directly. The cached
+          resource certificate (when the service certified at insertion)
+          lets admission control decide without re-planning. *)
+  | Stale of Query.t * Plan.t * Resource.cert option
       (** Same canonical form, but a table's modification counter moved. *)
   | Miss
 
@@ -48,10 +51,14 @@ val insert :
   cqnf:Cqnf.t ->
   canonical:Query.t ->
   plan:Plan.t ->
+  ?cert:Resource.cert ->
   epoch:(string * int) list ->
+  unit ->
   unit
 (** Add (or refresh, when two workers raced on the same miss) an entry,
-    evicting the least recently used entry when at capacity. *)
+    evicting the least recently used entry when at capacity. [cert] is the
+    plan's resource certificate; it travels with the plan, so a later hit
+    can make its admission decision from the cache alone. *)
 
 val refresh : t -> key:string -> plan:Plan.t option -> epoch:(string * int) list -> unit
 (** Revalidation / re-optimization write-back: update the entry's epoch
@@ -61,6 +68,10 @@ val remove : t -> key:string -> unit
 
 val plan_of : t -> key:string -> Plan.t option
 
-val entries : t -> (string * Query.t * Plan.t * (string * int) list * int) list
-(** Snapshot of (key, canonical query, plan, epoch, hits), sorted by key —
-    the stress test walks it to prove no torn entry exists. *)
+val entries :
+  t ->
+  (string * Query.t * Plan.t * (string * int) list * int * Resource.cert option)
+  list
+(** Snapshot of (key, canonical query, plan, epoch, hits, certificate),
+    sorted by key — the stress test walks it to prove no torn entry
+    exists, and the [\resources] frontend command reports it. *)

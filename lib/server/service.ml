@@ -9,9 +9,11 @@ module Executor = Rdb_exec.Executor
 module Cqnf = Rdb_verify.Cqnf
 module Card_bound = Rdb_verify.Card_bound
 module Finding = Rdb_analysis.Finding
+module Resource = Rdb_analysis.Resource
 module Pool = Rdb_util.Pool
 module Metrics = Rdb_obs.Metrics
 module Trace = Rdb_obs.Trace
+module Json = Rdb_obs.Json
 
 type cached = Hit | Revalidated | Miss
 
@@ -36,6 +38,8 @@ type config = {
   revalidate : bool;
   work_budget : int option;
   deadline_ms : float option;
+  mem_budget : float option;
+  downgrade : bool;
 }
 
 let default_config =
@@ -46,6 +50,8 @@ let default_config =
     revalidate = false;
     work_budget = Some 200_000_000;
     deadline_ms = None;
+    mem_budget = None;
+    downgrade = false;
   }
 
 type t = {
@@ -87,6 +93,7 @@ let create ?(config = default_config) parent =
 
 let cache t = t.cache
 let jobs t = t.config.jobs
+let config t = t.config
 
 let generation t =
   Mutex.lock t.state_mu;
@@ -165,73 +172,159 @@ let execute_plan t sess ?deadline_ms canonical plan =
    | None -> ());
   res
 
-(* A miss plans the canonical query. With re-optimization enabled, a run
-   that replaced the plan writes an improved plan back: the canonical query
-   replanned with the materialized sub-join's now-known true cardinality
-   pinned ([Estimator.Overrides]) — so the next hit starts from what the
-   re-optimizer learned instead of re-triggering. *)
+(* ---- admission control ----
+
+   With a memory budget configured, every plan the service would run is
+   held against its resource certificate ([Rdb_analysis.Resource]): a
+   certified peak over the budget is rejected outright, or — with
+   [downgrade] — executed through the re-optimization loop instead, which
+   pipelines through materialized temp tables and re-plans from true
+   cardinalities, the paper's remedy for exactly the plans whose estimated
+   footprint cannot be trusted. Certificates are computed once per miss
+   and travel with the cached plan, so hits decide admission without
+   planning. *)
+
+exception Over_budget of string
+
+(* The exception crosses [handle]'s Printexc boundary on its way to the
+   frontend's ERR line — print it as its message, not the constructor. *)
+let () =
+  Printexc.register_printer (function
+    | Over_budget msg -> Some msg
+    | _ -> None)
+
+let admission t (cert : Resource.cert option) =
+  match (t.config.mem_budget, cert) with
+  | None, _ -> `Admit
+  | Some _, None ->
+    (* Only entries inserted by pre-certificate code lack one; nothing can
+       be proved about them, so they pass. *)
+    `Admit
+  | Some budget, Some cert ->
+    let hi = Resource.mem_hi cert in
+    if hi <= budget then `Admit
+    else if t.config.downgrade then `Downgrade
+    else
+      `Reject
+        (Printf.sprintf
+           "over-budget: certified peak %.0f row-slots exceeds memory \
+            budget %.0f"
+           hi budget)
+
+let count_admitted t =
+  if Option.is_some t.config.mem_budget then Metrics.incr "serve.admitted"
+
+(* The re-optimizing execution path: run the loop, write the improved plan
+   (replanned with the first materialized sub-join's now-known true
+   cardinality pinned, [Estimator.Overrides]) back to the cache with a
+   fresh certificate — so the next hit starts from what the re-optimizer
+   learned instead of re-triggering. *)
+let reopt_execute t sess ?deadline_ms ~prepared ~key ~cqnf ~epoch ~threshold
+    canonical =
+  let outcome =
+    Reopt.run ?work_budget:t.config.work_budget ?deadline_ms
+      ~initial:prepared sess ~trigger:(Trigger.create threshold)
+      ~mode:Estimator.Default canonical
+  in
+  let plan =
+    match outcome.Reopt.steps with
+    | [] -> outcome.Reopt.final_plan
+    | first :: _ ->
+      (* [materialized_set] of the first step is in the canonical query's
+         own numbering (later steps renumber), and [temp_rows] is its true
+         cardinality — pin it and replan. *)
+      let overrides = Hashtbl.create 4 in
+      Hashtbl.replace overrides first.Reopt.materialized_set
+        (float_of_int (max 1 first.Reopt.temp_rows));
+      let estimator =
+        Estimator.create ~mode:(Estimator.Overrides overrides)
+          ~catalog:(Session.catalog sess) ~stats:(Session.stats sess)
+          canonical
+      in
+      let plan, _ =
+        Optimizer.plan ~space:(Session.space prepared)
+          ~cost_params:(Session.cost_params sess)
+          ~catalog:(Session.catalog sess) ~estimator canonical
+      in
+      Metrics.incr "cache.writebacks";
+      (* Reopt.run has already recorded the materialized true
+         cardinalities into the session's feedback store (re-keyed to
+         the canonical query), so the write-back is persistent: future
+         *similar* queries — not just this cached form — start from
+         them. Count those write-backs distinctly. *)
+      if Option.is_some (Session.feedback sess) then
+        Metrics.incr "feedback.writebacks";
+      plan
+  in
+  let cert = Session.certify prepared plan in
+  Plan_cache.insert t.cache ~key ~cqnf ~canonical ~plan ~cert ~epoch ();
+  ( outcome.Reopt.final_exec,
+    outcome.Reopt.total_plan_ms,
+    outcome.Reopt.total_exec_ms,
+    List.length outcome.Reopt.steps )
+
+(* The Q-error threshold of a downgraded execution: the configured re-opt
+   threshold when the service already re-optimizes, an aggressive default
+   otherwise — a downgrade exists to re-plan from true cardinalities, not
+   to run the rejected plan as-is. *)
+let downgrade_threshold t =
+  match t.config.reopt with Some th -> th | None -> 2.0
+
+(* A miss plans the canonical query, certifies the plan, and caches both. *)
 let plan_and_execute t sess ?deadline_ms ~key ~cqnf ~epoch canonical =
   let prepared = Session.prepare sess canonical in
+  let deadline_ms =
+    match deadline_ms with Some _ -> deadline_ms | None -> t.config.deadline_ms
+  in
   match t.config.reopt with
   | None ->
-    let plan, pstats, _ = Session.plan prepared ~mode:Estimator.Default in
-    Plan_cache.insert t.cache ~key ~cqnf ~canonical ~plan ~epoch;
-    let deadline_ms =
-      match deadline_ms with
-      | Some _ -> deadline_ms
-      | None -> t.config.deadline_ms
+    let plan, pstats, estimator =
+      Session.plan prepared ~mode:Estimator.Default
     in
-    let res =
-      Session.execute ?work_budget:t.config.work_budget ?deadline_ms prepared
-        plan
-    in
-    (res, pstats.Optimizer.plan_ms, res.Executor.elapsed_ms, 0)
+    let cert = Session.certify ~estimator prepared plan in
+    (* Cache even a rejected plan: planning cost is sunk, the certificate
+       rides along, and the next request under a laxer budget — or the
+       next rejection — resolves from the cache. *)
+    Plan_cache.insert t.cache ~key ~cqnf ~canonical ~plan ~cert ~epoch ();
+    (match admission t (Some cert) with
+     | `Reject msg ->
+       Metrics.incr "serve.rejected";
+       raise (Over_budget msg)
+     | `Downgrade ->
+       Metrics.incr "serve.downgraded";
+       reopt_execute t sess ?deadline_ms ~prepared ~key ~cqnf ~epoch
+         ~threshold:(downgrade_threshold t) canonical
+     | `Admit ->
+       count_admitted t;
+       let res =
+         Session.execute ?work_budget:t.config.work_budget ?deadline_ms
+           prepared plan
+       in
+       (res, pstats.Optimizer.plan_ms, res.Executor.elapsed_ms, 0))
   | Some threshold ->
-    let deadline_ms =
-      match deadline_ms with
-      | Some _ -> deadline_ms
-      | None -> t.config.deadline_ms
-    in
-    let outcome =
-      Reopt.run ?work_budget:t.config.work_budget ?deadline_ms
-        ~initial:prepared sess ~trigger:(Trigger.create threshold)
-        ~mode:Estimator.Default canonical
-    in
-    let plan =
-      match outcome.Reopt.steps with
-      | [] -> outcome.Reopt.final_plan
-      | first :: _ ->
-        (* [materialized_set] of the first step is in the canonical query's
-           own numbering (later steps renumber), and [temp_rows] is its true
-           cardinality — pin it and replan. *)
-        let overrides = Hashtbl.create 4 in
-        Hashtbl.replace overrides first.Reopt.materialized_set
-          (float_of_int (max 1 first.Reopt.temp_rows));
-        let estimator =
-          Estimator.create ~mode:(Estimator.Overrides overrides)
-            ~catalog:(Session.catalog sess) ~stats:(Session.stats sess)
-            canonical
-        in
-        let plan, _ =
-          Optimizer.plan ~space:(Session.space prepared)
-            ~cost_params:(Session.cost_params sess)
-            ~catalog:(Session.catalog sess) ~estimator canonical
-        in
-        Metrics.incr "cache.writebacks";
-        (* Reopt.run has already recorded the materialized true
-           cardinalities into the session's feedback store (re-keyed to
-           the canonical query), so the write-back is persistent: future
-           *similar* queries — not just this cached form — start from
-           them. Count those write-backs distinctly. *)
-        if Option.is_some (Session.feedback sess) then
-          Metrics.incr "feedback.writebacks";
-        plan
-    in
-    Plan_cache.insert t.cache ~key ~cqnf ~canonical ~plan ~epoch;
-    ( outcome.Reopt.final_exec,
-      outcome.Reopt.total_plan_ms,
-      outcome.Reopt.total_exec_ms,
-      List.length outcome.Reopt.steps )
+    (match t.config.mem_budget with
+     | Some _ ->
+       (* Budgeted: the re-opt loop's first materialization already
+          executes part of the default plan, so admission must hold the
+          *initial* plan's certificate against the budget before any
+          execution starts. *)
+       let plan, _, estimator = Session.plan prepared ~mode:Estimator.Default in
+       let cert = Session.certify ~estimator prepared plan in
+       (match admission t (Some cert) with
+        | `Reject msg ->
+          Plan_cache.insert t.cache ~key ~cqnf ~canonical ~plan ~cert ~epoch ();
+          Metrics.incr "serve.rejected";
+          raise (Over_budget msg)
+        | (`Admit | `Downgrade) as d ->
+          (* Re-optimizing execution already is the downgraded mode. *)
+          (match d with
+           | `Admit -> count_admitted t
+           | `Downgrade -> Metrics.incr "serve.downgraded");
+          reopt_execute t sess ?deadline_ms ~prepared ~key ~cqnf ~epoch
+            ~threshold canonical)
+     | None ->
+       reopt_execute t sess ?deadline_ms ~prepared ~key ~cqnf ~epoch
+         ~threshold canonical)
 
 let process t sess ?deadline_ms (q : Query.t) =
   let catalog = Session.catalog sess in
@@ -246,19 +339,38 @@ let process t sess ?deadline_ms (q : Query.t) =
     in
     (res, Miss, plan_ms, exec_ms, steps)
   in
+  (* A cached entry's certificate decides admission without planning; a
+     downgraded hit re-prepares and runs the re-opt loop instead of the
+     cached plan. *)
+  let cached_admit label canonical plan cert =
+    match admission t cert with
+    | `Reject msg ->
+      Metrics.incr "serve.rejected";
+      raise (Over_budget msg)
+    | `Downgrade ->
+      Metrics.incr "serve.downgraded";
+      let prepared = Session.prepare sess canonical in
+      let res, plan_ms, exec_ms, steps =
+        reopt_execute t sess ?deadline_ms ~prepared ~key ~cqnf ~epoch
+          ~threshold:(downgrade_threshold t) canonical
+      in
+      (res, label, plan_ms, exec_ms, steps)
+    | `Admit ->
+      count_admitted t;
+      let res = execute_plan t sess ?deadline_ms canonical plan in
+      (res, label, 0.0, res.Executor.elapsed_ms, 0)
+  in
   let res, cached, plan_ms, exec_ms, steps =
     match Plan_cache.lookup t.cache ~key ~cqnf ~epoch with
-    | Plan_cache.Hit (canonical, plan) ->
+    | Plan_cache.Hit (canonical, plan, cert) ->
       Metrics.incr "cache.hits";
-      let res = execute_plan t sess ?deadline_ms canonical plan in
-      (res, Hit, 0.0, res.Executor.elapsed_ms, 0)
-    | Plan_cache.Stale (canonical, plan) ->
+      cached_admit Hit canonical plan cert
+    | Plan_cache.Stale (canonical, plan, cert) ->
       if t.config.revalidate && revalidates sess canonical plan then begin
         Plan_cache.refresh t.cache ~key ~plan:None ~epoch;
         Metrics.incr "cache.hits";
         Metrics.incr "cache.revalidations";
-        let res = execute_plan t sess ?deadline_ms canonical plan in
-        (res, Revalidated, 0.0, res.Executor.elapsed_ms, 0)
+        cached_admit Revalidated canonical plan cert
       end
       else begin
         Plan_cache.remove t.cache ~key;
@@ -331,6 +443,38 @@ let submit_bound t ?deadline_ms q = submit_source t ?deadline_ms (`Bound q)
 let query t ?deadline_ms sql = Pool.await (submit t ?deadline_ms sql)
 
 let query_bound t ?deadline_ms q = Pool.await (submit_bound t ?deadline_ms q)
+
+(* The [\resources] frontend command: the admission configuration, the
+   admission counters, and every cached entry's certificate, one JSON
+   object. *)
+let resources_json t =
+  let snap = Metrics.snapshot () in
+  Json.Obj
+    [
+      ( "budget",
+        match t.config.mem_budget with
+        | Some b -> Json.Float b
+        | None -> Json.Null );
+      ("downgrade", Json.Bool t.config.downgrade);
+      ("admitted", Json.Int (Metrics.counter snap "serve.admitted"));
+      ("rejected", Json.Int (Metrics.counter snap "serve.rejected"));
+      ("downgraded", Json.Int (Metrics.counter snap "serve.downgraded"));
+      ( "entries",
+        Json.List
+          (List.map
+             (fun (key, (canonical : Query.t), _plan, _epoch, hits, cert) ->
+               Json.Obj
+                 [
+                   ("key", Json.Str key);
+                   ("query", Json.Str canonical.Query.name);
+                   ("hits", Json.Int hits);
+                   ( "cert",
+                     match cert with
+                     | Some c -> Resource.to_json c
+                     | None -> Json.Null );
+                 ])
+             (Plan_cache.entries t.cache)) );
+    ]
 
 (* ---- statistics movement ---- *)
 

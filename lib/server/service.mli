@@ -24,11 +24,20 @@
     cardinality pinned — is written back to the cache
     ([cache.writebacks]).
 
+    With [mem_budget] set, every plan is held against its static resource
+    certificate before execution: admitted requests count
+    [serve.admitted], over-budget ones either fail with an [over-budget:]
+    error ([serve.rejected]) or — with [downgrade] — run through the
+    re-optimization loop instead ([serve.downgraded]). Certificates are
+    computed on every miss and cached with the plan, so hits decide
+    admission without planning.
+
     Metrics (registry of {!Rdb_obs.Metrics}): [serve.requests],
     [serve.errors], [serve.stats_refreshes], the [serve.ms] /
-    [serve.plan_ms] / [serve.exec_ms] distributions, and [cache.hits],
-    [cache.misses], [cache.invalidations], [cache.revalidations],
-    [cache.writebacks]. Every request that reaches the cache decision
+    [serve.plan_ms] / [serve.exec_ms] distributions, the
+    [serve.admitted] / [serve.rejected] / [serve.downgraded] admission
+    counters, and [cache.hits], [cache.misses], [cache.invalidations],
+    [cache.revalidations], [cache.writebacks]. Every request that reaches the cache decision
     counts exactly one of [cache.hits] / [cache.misses] (a parse or bind
     failure counts neither), so on an error-free run
     [cache.hits + cache.misses = serve.requests] holds exactly — the
@@ -58,11 +67,22 @@ type config = {
   revalidate : bool;       (** try bound-revalidation before invalidating *)
   work_budget : int option;
   deadline_ms : float option;
+  mem_budget : float option;
+      (** admission control: reject (or downgrade) any plan whose certified
+          peak memory ({!Rdb_analysis.Resource.mem_hi}, row-slots) exceeds
+          this — the certificate is a sound upper bound, so every admitted
+          non-adaptive execution provably stays within budget *)
+  downgrade : bool;
+      (** with [mem_budget]: instead of rejecting an over-budget plan, run
+          the query through the re-optimization loop (threshold [reopt],
+          or 2.0 when re-optimization is off) — materializing sub-joins
+          and re-planning from their true cardinalities rather than
+          trusting the footprint of a plan built on estimates *)
 }
 
 val default_config : config
 (** jobs 1, capacity 256, no re-optimization, invalidate (no revalidation),
-    work budget 2e8, no deadline. *)
+    work budget 2e8, no deadline, no memory budget. *)
 
 type t
 
@@ -98,7 +118,15 @@ val touch_table : t -> string -> unit
 
 val cache : t -> Plan_cache.t
 val jobs : t -> int
+val config : t -> config
 val generation : t -> int
+
+val resources_json : t -> Rdb_obs.Json.t
+(** The admission-control report behind the frontend's [\resources]
+    command: the configured budget and downgrade knob, the
+    [serve.admitted] / [serve.rejected] / [serve.downgraded] counters, and
+    every cached entry's resource certificate
+    ({!Rdb_analysis.Resource.to_json}; [null] for entries without one). *)
 
 val shutdown : t -> unit
 (** Reject new submissions, drain in-flight requests, join the workers.

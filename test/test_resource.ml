@@ -1,0 +1,267 @@
+(* The static resource certifier, tested four ways:
+
+   - soundness: across all 113 JOB queries and seeded random SPJ queries
+     (QCheck over generator seeds), the certified memory/work/output
+     hi-bounds dominate a real execution's observed peak_rows/work/out_rows,
+     and the lo-bounds undercut them — the certificate's contract with the
+     executor's deterministic counters;
+   - exactness anchors: a single-table seq-scan query's certified work is a
+     point interval equal to the executor's observed work, and the peak of
+     any run is at least the root intermediate's slots;
+   - the re-opt side: observed replan steps never exceed the structural
+     certificate bound, the transition simulation terminates and reports
+     trajectories within it, and the thrashing detector (seeded-mutant
+     oscillation sequences) fires exactly on departed-and-revisited shapes;
+   - findings/admission: a tiny budget yields the resource-over-budget
+     error the server's admission controller keys on, a huge one does not. *)
+
+module Query = Rdb_query.Query
+module Session = Rdb_core.Session
+module Reopt = Rdb_core.Reopt
+module Trigger = Rdb_core.Trigger
+module Estimator = Rdb_card.Estimator
+module Executor = Rdb_exec.Executor
+module Plan = Rdb_plan.Plan
+module Prng = Rdb_util.Prng
+module Relset = Rdb_util.Relset
+module Finding = Rdb_analysis.Finding
+module Resource = Rdb_analysis.Resource
+module Interval = Rdb_cost.Interval
+module Query_gen = Rdb_verify.Query_gen
+module Job_queries = Rdb_imdb.Job_queries
+
+let imdb ?(scale = 0.02) ?(seed = 11) () =
+  let catalog = Rdb_imdb.Imdb_gen.generate ~seed ~scale () in
+  let session = Session.create catalog in
+  Session.analyze session;
+  (catalog, session)
+
+let lazy_db = lazy (imdb ())
+
+let parse catalog ~name sql =
+  match Rdb_sql.Binder.bind catalog ~name (Rdb_sql.Parser.parse sql) with
+  | Ok q -> q
+  | Error e -> failwith e
+
+(* Work budget for property executions: large enough that JOB at scale
+   0.02 never trips it, so lo-bound checks stay meaningful, while still
+   bounding a certifier-regression disaster. *)
+let budget = 200_000_000
+
+let check_sound ~what session (q : Query.t) =
+  let prepared = Session.prepare session q in
+  let plan, _, estimator = Session.plan prepared ~mode:Estimator.Default in
+  let cert = Session.certify ~estimator prepared plan in
+  let name = Printf.sprintf "%s/%s" what q.Query.name in
+  let contains label (i : Interval.t) v =
+    let v = float_of_int v in
+    if v > i.Interval.hi +. 0.5 then
+      Alcotest.failf "%s: observed %s %.0f exceeds certified hi %.1f" name
+        label v i.Interval.hi;
+    if v < i.Interval.lo -. 0.5 then
+      Alcotest.failf "%s: observed %s %.0f undercuts certified lo %.1f" name
+        label v i.Interval.lo
+  in
+  match Session.execute ~work_budget:budget prepared plan with
+  | res ->
+    contains "work" cert.Resource.cert_work res.Executor.work;
+    contains "peak memory" cert.Resource.cert_mem res.Executor.peak_rows;
+    contains "output rows" cert.Resource.cert_out res.Executor.out_rows;
+    (* the root intermediate alone is [out_rows x n_rels] slots *)
+    if res.Executor.peak_rows < res.Executor.out_rows * Query.n_rels q then
+      Alcotest.failf "%s: peak %d below the root intermediate's %d slots"
+        name res.Executor.peak_rows
+        (res.Executor.out_rows * Query.n_rels q);
+    res.Executor.work
+  | exception Executor.Work_budget_exceeded { spent; _ } ->
+    (* A capped run still observed a prefix of the full execution, so the
+       hi-bounds must dominate what was seen; lo-bounds only constrain
+       complete runs. *)
+    if float_of_int spent > cert.Resource.cert_work.Interval.hi +. 0.5 then
+      Alcotest.failf "%s: capped work %d exceeds certified hi %.1f" name
+        spent cert.Resource.cert_work.Interval.hi;
+    spent
+
+let test_job_soundness () =
+  let _, session = Lazy.force lazy_db in
+  let queries = Job_queries.all (Session.catalog session) in
+  Alcotest.(check int) "workload size" 113 (List.length queries);
+  let total =
+    List.fold_left
+      (fun acc q -> acc + check_sound ~what:"job" session q)
+      0 queries
+  in
+  if total <= 0 then Alcotest.fail "JOB sweep did no work"
+
+let test_gen_soundness =
+  QCheck.Test.make ~count:60 ~name:"generated SPJ certificates are sound"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let catalog, session = Lazy.force lazy_db in
+      let g = Query_gen.create ~catalog in
+      let rng = Prng.create (seed + 1) in
+      let q = Query_gen.gen g rng ~name:(Printf.sprintf "r%d" seed) in
+      let (_ : int) = check_sound ~what:"gen" session q in
+      true)
+
+let test_seq_scan_work_is_exact () =
+  let catalog, session = Lazy.force lazy_db in
+  (* A single-relation count over title: planned as one sequential scan
+     whose certified work is the point [N, N]. *)
+  let q = parse catalog ~name:"scan1" "SELECT COUNT(*) FROM title AS t" in
+  let prepared = Session.prepare session q in
+  let plan, _, estimator = Session.plan prepared ~mode:Estimator.Default in
+  let cert = Session.certify ~estimator prepared plan in
+  let res = Session.execute prepared plan in
+  let n = Table.nrows (Catalog.table_exn catalog "title") in
+  Alcotest.(check (float 0.5)) "work lo" (float_of_int n)
+    cert.Resource.cert_work.Interval.lo;
+  Alcotest.(check (float 0.5)) "work hi" (float_of_int n)
+    cert.Resource.cert_work.Interval.hi;
+  Alcotest.(check int) "observed work" n res.Executor.work;
+  Alcotest.(check int) "replans bounded by rels - 1" 0
+    cert.Resource.cert_replans_hi
+
+let test_reopt_steps_within_bound () =
+  let _, session = Lazy.force lazy_db in
+  let queries = Job_queries.all (Session.catalog session) in
+  (* An aggressive threshold forces materializations on many queries. *)
+  let trigger = Trigger.create 2.0 in
+  let checked = ref 0 in
+  let stepped = ref 0 in
+  List.iteri
+    (fun i q ->
+      if i mod 7 = 0 then begin
+        let prepared = Session.prepare session q in
+        let plan, _, estimator =
+          Session.plan prepared ~mode:Estimator.Default
+        in
+        let cert =
+          Session.certify ~transitions:true ~threshold:2.0 ~estimator
+            prepared plan
+        in
+        let outcome =
+          Reopt.run ~work_budget:budget session ~trigger
+            ~mode:Estimator.Default q
+        in
+        incr checked;
+        let steps = List.length outcome.Reopt.steps in
+        if steps > 0 then incr stepped;
+        if steps > cert.Resource.cert_replans_hi then
+          Alcotest.failf "%s: %d re-opt steps exceed certified bound %d"
+            q.Query.name steps cert.Resource.cert_replans_hi;
+        if outcome.Reopt.peak_rows < outcome.Reopt.final_exec.Executor.peak_rows
+        then
+          Alcotest.failf "%s: run peak below final execution's peak"
+            q.Query.name;
+        match cert.Resource.cert_reopt with
+        | None -> Alcotest.failf "%s: transitions requested but absent" q.Query.name
+        | Some ro ->
+          if ro.Resource.ro_predicted_replans > cert.Resource.cert_replans_hi
+          then
+            Alcotest.failf "%s: predicted %d replans above structural bound %d"
+              q.Query.name ro.Resource.ro_predicted_replans
+              cert.Resource.cert_replans_hi
+      end)
+    queries;
+  if !checked = 0 then Alcotest.fail "no queries checked";
+  if !stepped = 0 then
+    Alcotest.fail "threshold 2.0 forced no re-optimization at all"
+
+let test_thrashing_detector () =
+  let fires shapes = Resource.detect_oscillation shapes <> None in
+  Alcotest.(check bool) "A B A oscillates" true (fires [ "A"; "B"; "A" ]);
+  Alcotest.(check bool) "A B B A oscillates" true (fires [ "A"; "B"; "B"; "A" ]);
+  Alcotest.(check bool) "A A is a fixpoint, not thrashing" false
+    (fires [ "A"; "A" ]);
+  Alcotest.(check bool) "monotone progress" false (fires [ "A"; "B"; "C" ]);
+  Alcotest.(check bool) "empty" false (fires []);
+  (match Resource.detect_oscillation [ "A"; "B"; "A"; "B" ] with
+  | Some ("A", 0, 2) -> ()
+  | Some (s, i, j) ->
+    Alcotest.failf "wrong witness (%s, %d, %d), wanted (A, 0, 2)" s i j
+  | None -> Alcotest.fail "A B A B must oscillate");
+  (* A forced oscillation through the full findings pipeline: the mutant
+     report is what a thrashing simulation produces, and the finding must
+     carry the resource-thrashing code. *)
+  let mutant_cert =
+    {
+      Resource.cert_shape = "A";
+      cert_mem = { Interval.lo = 0.0; hi = 10.0 };
+      cert_work = { Interval.lo = 0.0; hi = 10.0 };
+      cert_out = { Interval.lo = 0.0; hi = 10.0 };
+      cert_replans_hi = 3;
+      cert_reopt =
+        Some
+          {
+            Resource.ro_threshold = 32.0;
+            ro_transitions = [];
+            ro_predicted_replans = 2;
+            ro_stable = true;
+            ro_thrashing = Resource.detect_oscillation [ "A"; "B"; "A" ];
+            ro_temp_slots_hi = 0.0;
+          };
+    }
+  in
+  let q =
+    parse (fst (Lazy.force lazy_db)) ~name:"mutant"
+      "SELECT COUNT(*) FROM title AS t"
+  in
+  let codes = List.map (fun f -> f.Finding.code) (Resource.findings q mutant_cert) in
+  Alcotest.(check bool) "thrashing finding emitted" true
+    (List.mem "resource-thrashing" codes)
+
+let test_budget_findings () =
+  let _, session = Lazy.force lazy_db in
+  let queries = Job_queries.all (Session.catalog session) in
+  let q = List.nth queries 20 in
+  let prepared = Session.prepare session q in
+  let plan, _, estimator = Session.plan prepared ~mode:Estimator.Default in
+  let cert = Session.certify ~estimator prepared plan in
+  let codes b =
+    List.map (fun f -> f.Finding.code) (Resource.findings ~budget:b q cert)
+  in
+  Alcotest.(check bool) "tiny budget rejects" true
+    (List.mem "resource-over-budget" (codes 1.0));
+  Alcotest.(check bool) "huge budget admits" false
+    (List.mem "resource-over-budget"
+       (codes (Resource.mem_hi cert +. 1.0)));
+  Alcotest.(check bool) "admitted cert carries summary" true
+    (List.mem "resource-certificate"
+       (codes (Resource.mem_hi cert +. 1.0)))
+
+let test_json_roundtrip () =
+  let _, session = Lazy.force lazy_db in
+  let queries = Job_queries.all (Session.catalog session) in
+  let q = List.hd queries in
+  let prepared = Session.prepare session q in
+  let plan, _, estimator = Session.plan prepared ~mode:Estimator.Default in
+  let cert = Session.certify ~transitions:true ~estimator prepared plan in
+  let s = Rdb_obs.Json.to_string (Resource.to_json cert) in
+  Alcotest.(check bool) "certificate JSON is strict" true
+    (Rdb_obs.Json.is_valid s)
+
+let () =
+  Alcotest.run "rdb_resource"
+    [
+      ( "soundness",
+        [
+          Alcotest.test_case "113 JOB certificates dominate execution" `Slow
+            test_job_soundness;
+          QCheck_alcotest.to_alcotest test_gen_soundness;
+          Alcotest.test_case "seq-scan work certificate is exact" `Quick
+            test_seq_scan_work_is_exact;
+        ] );
+      ( "reopt",
+        [
+          Alcotest.test_case "observed steps within certified bound" `Slow
+            test_reopt_steps_within_bound;
+          Alcotest.test_case "thrashing detector (seeded mutants)" `Quick
+            test_thrashing_detector;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "budget findings" `Quick test_budget_findings;
+          Alcotest.test_case "certificate JSON" `Quick test_json_roundtrip;
+        ] );
+    ]

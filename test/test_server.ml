@@ -243,7 +243,7 @@ let test_stress_matches_serial_oracle () =
   (* No torn entry: every cached canonical query re-normalizes to the very
      key it is stored under, and its epoch names exactly its tables. *)
   List.iter
-    (fun (key, canonical, _plan, epoch, _hits) ->
+    (fun (key, canonical, _plan, epoch, _hits, _cert) ->
       let c = Cqnf.of_query ~catalog canonical in
       check Alcotest.string "entry key is its own fingerprint" key
         (Cqnf.fingerprint c);
@@ -408,6 +408,82 @@ let test_reopt_write_back () =
     (delta before after "cache.writebacks" > 0);
   Service.shutdown service
 
+(* ---- admission control ---- *)
+
+module Resource = Rdb_analysis.Resource
+
+(* The certified peak of a query's default plan, probed on a twin session
+   (same scale and seed as the service's own, hence same statistics and
+   certificates). *)
+let cert_hi session q =
+  let prepared = Session.prepare session q in
+  let plan, _, estimator = Session.plan prepared ~mode:Estimator.Default in
+  Resource.mem_hi (Session.certify ~estimator prepared plan)
+
+(* A budget strictly between a light query's certified peak and a heavy
+   one's: the light query must serve, the heavy one must be rejected —
+   and rejected again from the cached certificate on the hit path — while
+   the service keeps answering. *)
+let test_admission_rejects_over_budget () =
+  let catalog, twin = make_session ~scale:0.02 () in
+  let light = Job.find catalog "1a" in
+  let heavy = Job.find catalog "16b" in
+  let light_hi = cert_hi twin light and heavy_hi = cert_hi twin heavy in
+  check Alcotest.bool "heavy certifies above light" true (heavy_hi > light_hi);
+  let budget = (light_hi +. heavy_hi) /. 2.0 in
+  let config = { Service.default_config with mem_budget = Some budget } in
+  let _, service = make_service ~scale:0.02 ~config () in
+  let before = Metrics.snapshot () in
+  (match Service.query_bound service light with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "light query rejected: %s" e);
+  (match Service.query_bound service heavy with
+   | Ok _ -> Alcotest.fail "over-budget query served"
+   | Error msg ->
+     check Alcotest.bool "error names the budget" true
+       (String.length msg >= 11 && String.sub msg 0 11 = "over-budget"));
+  (* Again: the plan and certificate are cached now, so the second
+     rejection must come from the hit path. *)
+  let hits_before = Metrics.snapshot () in
+  (match Service.query_bound service heavy with
+   | Ok _ -> Alcotest.fail "over-budget query served on hit"
+   | Error _ -> ());
+  let after = Metrics.snapshot () in
+  check Alcotest.int "rejected hit counted as cache hit" 1
+    (delta hits_before after "cache.hits");
+  check Alcotest.int "two rejections" 2 (delta before after "serve.rejected");
+  check Alcotest.bool "light query admitted" true
+    (delta before after "serve.admitted" >= 1);
+  (* The rest of the workload still serves. *)
+  let r = ok_response "after rejections" (Service.query_bound service light) in
+  check Alcotest.bool "still serving" true (r.Service.r_rows >= 0);
+  let json = Rdb_obs.Json.to_string (Service.resources_json service) in
+  check Alcotest.bool "resources report is strict JSON" true
+    (Rdb_obs.Json.is_valid json);
+  Service.shutdown service
+
+let test_admission_downgrades () =
+  let catalog, twin = make_session ~scale:0.02 () in
+  let light = Job.find catalog "1a" in
+  let heavy = Job.find catalog "16b" in
+  let light_hi = cert_hi twin light and heavy_hi = cert_hi twin heavy in
+  let budget = (light_hi +. heavy_hi) /. 2.0 in
+  let config =
+    { Service.default_config with mem_budget = Some budget; downgrade = true }
+  in
+  let _, service = make_service ~scale:0.02 ~config () in
+  let before = Metrics.snapshot () in
+  let r = ok_response "downgraded" (Service.query_bound service heavy) in
+  let after = Metrics.snapshot () in
+  check Alcotest.int "downgrade counted" 1
+    (delta before after "serve.downgraded");
+  check Alcotest.int "not rejected" 0 (delta before after "serve.rejected");
+  (* The downgraded run must agree with a cold plain execution. *)
+  let cold = cold_run twin heavy in
+  check (Alcotest.list values) "downgraded aggregates match cold run"
+    cold.Rdb_exec.Executor.aggs r.Service.r_aggs;
+  Service.shutdown service
+
 let () =
   Alcotest.run "rdb_server"
     [
@@ -444,5 +520,12 @@ let () =
             test_invalidated_plan_can_change;
           Alcotest.test_case "revalidation keeps the plan" `Quick
             test_revalidation_keeps_plan;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "over-budget rejected, cache-hit path included"
+            `Quick test_admission_rejects_over_budget;
+          Alcotest.test_case "downgrade runs the re-opt loop" `Quick
+            test_admission_downgrades;
         ] );
     ]
