@@ -26,11 +26,14 @@
      reoptdb racecheck [--json ...]     source-level concurrency lint of the
                                         repo's own .ml tree: guarded-by,
                                         lock-order cycles, domain captures
+     reoptdb exnflow [--json ...]       source-level exception-flow lint:
+                                        leak-on-raise, spawn-escape,
+                                        designated-handler discipline
      reoptdb json-check report.json     strictly validate a JSON report
 
    Exit codes are uniform across the analysis commands (lint, verify,
-   fragility, feedback, racecheck, json-check): 0 clean, 1 error-severity
-   findings, 2 usage error.
+   fragility, feedback, racecheck, exnflow, json-check): 0 clean, 1
+   error-severity findings, 2 usage error.
 
    Set RDB_TRACE=stderr (or =path for JSON-lines) to trace every pipeline
    phase as nested timed spans. *)
@@ -487,7 +490,16 @@ let cmd_lint =
         List.iter
           (fun (i : Rdb_srclint.Srclint.item) ->
             report (Printf.sprintf "%s:%d" i.file i.line) [ i.finding ])
-          sr.Rdb_srclint.Srclint.items
+          sr.Rdb_srclint.Srclint.items;
+        (* Sixth finding source: the exception-flow analyzer over the same
+           tree. Annotation-hygiene findings appear in both reports with
+           identical site and message, so the shared dedupe key folds
+           them. *)
+        let xr = Rdb_srclint.Srclint.analyze_exnflow_tree ~root () in
+        List.iter
+          (fun (i : Rdb_srclint.Srclint.item) ->
+            report (Printf.sprintf "%s:%d" i.file i.line) [ i.finding ])
+          xr.Rdb_srclint.Srclint.xitems
     end;
     (* Dedupe: the same finding reported for the same query by several
        hooks/configs (the config label in the context does not make it a
@@ -552,8 +564,9 @@ let cmd_lint =
           plan-robustness analyzer's interval-sensitivity findings on the \
           default config. Output is deduplicated and sorted by severity \
           then query for stable CI diffs. With --source, the source-level \
-          concurrency analyzer's findings on the repository's own lib/ tree \
-          are merged in. Exits non-zero on error-severity findings.")
+          concurrency and exception-flow analyzers' findings on the \
+          repository's own lib/ tree are merged in. Exits non-zero on \
+          error-severity findings.")
     Term.(const run $ lint_scale_arg $ seed_arg $ threshold_arg $ perfect_arg
           $ source_arg)
 
@@ -1675,6 +1688,79 @@ let cmd_racecheck =
           usage errors.")
     Term.(const run $ roots_arg $ json_arg $ no_registry_arg)
 
+(* ---- exnflow ---- *)
+
+let cmd_exnflow =
+  let module Srclint = Rdb_srclint.Srclint in
+  let roots_arg =
+    Arg.(value & opt_all string [] & info [ "root" ] ~docv:"DIR"
+           ~doc:"Directory tree of .ml sources to analyze (repeatable). \
+                 Default: the repository's lib/ directory, located by \
+                 walking up from the current directory.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
+           ~doc:"Write the full report (summaries count, findings) as JSON \
+                 to PATH.")
+  in
+  let no_registry_arg =
+    Arg.(value & flag & info [ "no-registry" ]
+           ~doc:"Skip the designated-handler registry and the pinned \
+                 serving-stack file list (for analyzing trees other than \
+                 this repository's lib/).")
+  in
+  let run roots json_path no_registry =
+    let roots =
+      match roots with
+      | [] -> (
+        match Srclint.find_default_root () with Some r -> [ r ] | None -> [])
+      | rs -> rs
+    in
+    if roots = [] then begin
+      Printf.eprintf
+        "exnflow: cannot locate the repository's lib/ (pass --root)\n";
+      2
+    end
+    else begin
+      let files = List.concat_map Srclint.ml_files_under roots in
+      if files = [] then begin
+        Printf.eprintf "exnflow: no .ml files under %s\n"
+          (String.concat ", " roots);
+        2
+      end
+      else begin
+        let handlers = if no_registry then Some [] else None in
+        let pinned = if no_registry then Some [] else None in
+        let report = Srclint.analyze_exnflow_files ?handlers ?pinned files in
+        print_string (Srclint.render_exnflow report);
+        (match json_path with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              output_string oc
+                (Rdb_obs.Json.to_string (Srclint.exnflow_to_json report));
+              output_char oc '\n');
+          Printf.eprintf "exnflow report written to %s\n%!" path);
+        Srclint.exn_exit_code report
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "exnflow"
+       ~doc:
+         "Source-level exception-flow lint of the repository's own .ml \
+          tree: proves resources acquired in a scope (fds, channels, held \
+          mutexes, pools, temp tables) are released on every raising path, \
+          that no exception can escape a Domain.spawn/Thread.create/\
+          Pool.submit closure, and that control exceptions \
+          (Work_budget_exceeded & co) are only caught at registry-pinned \
+          handler sites. The error-path complement of racecheck. Exits 1 \
+          on error findings, 2 on usage errors.")
+    Term.(const run $ roots_arg $ json_arg $ no_registry_arg)
+
 let cmd_json_check =
   let path_pos =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH"
@@ -1726,7 +1812,8 @@ let () =
       (Cmd.group info
          [ cmd_queries; cmd_sql; cmd_explain; cmd_run; cmd_experiment;
            cmd_lint; cmd_resources; cmd_verify; cmd_fragility; cmd_feedback;
-           cmd_serve; cmd_bench_serve; cmd_racecheck; cmd_json_check ])
+           cmd_serve; cmd_bench_serve; cmd_racecheck; cmd_exnflow;
+           cmd_json_check ])
   in
   (* cmdliner reports its own parse errors as 124; fold them into the
      uniform contract (2 = usage error) shared by every subcommand. *)

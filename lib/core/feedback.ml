@@ -26,9 +26,7 @@ let create () =
 (* Metrics counters are only ever bumped outside the store lock. *)
 
 (* @with_lock mu *)
-let locked t f =
-  Mutex.lock t.mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) (fun () -> f ())
+let locked t f = Mutex.protect t.mu f
 
 (* ---- canonical sub-join signatures ---- *)
 

@@ -298,6 +298,8 @@ let run ?lint ?verify ?work_budget ?deadline_ms ?(cleanup = true)
       let table =
         Table.of_rows ~name:temp_name ~schema mat.Executor.mat_rows
       in
+      (* registered in temp_names just above, so the outer match drops it:
+         @cleanup_ok cleanup_temps runs on both exits of [run] below *)
       Catalog.add_table (Session.catalog session) table;
       live_slots := !live_slots + (Table.nrows table * List.length temp_cols);
       Trace.span "reopt.analyze"
@@ -383,5 +385,10 @@ let run ?lint ?verify ?work_budget ?deadline_ms ?(cleanup = true)
       peak_rows = !peak;
     }
   | exception e ->
-    if cleanup then cleanup_temps ();
+    (* Unconditional even under ~cleanup:false: that flag means "let the
+       caller inspect the temps of a *successful* run"; an aborted run
+       (budget blown mid-materialization, verify failure) returns no step
+       list, so the caller has no way to learn the temp names and the
+       tables would be stranded in the catalog forever. *)
+    cleanup_temps ();
     raise e

@@ -65,7 +65,9 @@ val run :
 (** Run the full re-optimization loop. [mode] is the estimator used for
     (re-)planning, so re-optimization composes with perfect-(n) as in
     Figure 8. [cleanup] (default true) drops the temporary tables from the
-    catalog afterwards. [max_steps] (default 32) bounds the loop.
+    catalog afterwards; [~cleanup:false] keeps them only for a run that
+    returns — an aborted run always drops its temps, since the caller
+    never learns their names. [max_steps] (default 32) bounds the loop.
     [feedback] (default: the session's store, if any) receives every
     observed true cardinality — each step's materialized row count and the
     final execution's per-node observations — re-keyed against the

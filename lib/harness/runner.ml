@@ -260,20 +260,18 @@ let run_grid ?(jobs = 1) ?queries lab configs =
      let labs : (int, lab) Hashtbl.t = Hashtbl.create jobs in
      let worker_lab () =
        let id = (Domain.self () :> int) in
-       Mutex.lock mu;
-       let l =
-         match Hashtbl.find_opt labs id with
-         | Some l -> l
-         | None ->
-           let l = clone_lab lab in
-           Hashtbl.replace labs id l;
-           l
-       in
-       Mutex.unlock mu;
-       l
+       Mutex.protect mu (fun () ->
+           match Hashtbl.find_opt labs id with
+           | Some l -> l
+           | None ->
+             let l = clone_lab lab in
+             Hashtbl.replace labs id l;
+             l)
      in
      let results =
        Rdb_util.Pool.with_pool jobs (fun pool ->
+           (* a cell exception is recorded in its future, not lost:
+              @swallow_ok Pool.map re-raises it at the await, on this domain *)
            Rdb_util.Pool.map pool
              (fun (config, q) ->
                ( (config_name config, q.Query.name),

@@ -26,16 +26,13 @@ let shards : shard list ref = ref []
 let shard_key =
   Domain.DLS.new_key (fun () ->
       let sh = { smu = Mutex.create (); c = Hashtbl.create 16; s = Hashtbl.create 16 } in
-      Mutex.lock registry_mu;
-      shards := sh :: !shards;
-      Mutex.unlock registry_mu;
+      Mutex.protect registry_mu (fun () -> shards := sh :: !shards);
       sh)
 
 (* @with_lock smu *)
 let with_shard f =
   let sh = Domain.DLS.get shard_key in
-  Mutex.lock sh.smu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock sh.smu) (fun () -> f sh)
+  Mutex.protect sh.smu (fun () -> f sh)
 
 (* @acquires smu *)
 let incr ?(by = 1) name =
@@ -59,11 +56,7 @@ let observe name v =
       in
       Hashtbl.replace sh.s name merged)
 
-let all_shards () =
-  Mutex.lock registry_mu;
-  let l = !shards in
-  Mutex.unlock registry_mu;
-  l
+let all_shards () = Mutex.protect registry_mu (fun () -> !shards)
 
 (* @acquires smu *)
 let snapshot () =
@@ -71,27 +64,27 @@ let snapshot () =
   let s : (string, stat) Hashtbl.t = Hashtbl.create 32 in
   List.iter
     (fun sh ->
-      Mutex.lock sh.smu;
-      Hashtbl.iter
-        (fun k v ->
-          Hashtbl.replace c k (v + Option.value ~default:0 (Hashtbl.find_opt c k)))
-        sh.c;
-      Hashtbl.iter
-        (fun k v ->
-          let merged =
-            match Hashtbl.find_opt s k with
-            | None -> v
-            | Some t ->
-              {
-                count = t.count + v.count;
-                sum = t.sum +. v.sum;
-                min = Float.min t.min v.min;
-                max = Float.max t.max v.max;
-              }
-          in
-          Hashtbl.replace s k merged)
-        sh.s;
-      Mutex.unlock sh.smu)
+      Mutex.protect sh.smu (fun () ->
+          Hashtbl.iter
+            (fun k v ->
+              Hashtbl.replace c k
+                (v + Option.value ~default:0 (Hashtbl.find_opt c k)))
+            sh.c;
+          Hashtbl.iter
+            (fun k v ->
+              let merged =
+                match Hashtbl.find_opt s k with
+                | None -> v
+                | Some t ->
+                  {
+                    count = t.count + v.count;
+                    sum = t.sum +. v.sum;
+                    min = Float.min t.min v.min;
+                    max = Float.max t.max v.max;
+                  }
+              in
+              Hashtbl.replace s k merged)
+            sh.s))
     (all_shards ());
   let sorted tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
   { counters = sorted c; stats = sorted s }
@@ -100,10 +93,9 @@ let snapshot () =
 let reset () =
   List.iter
     (fun sh ->
-      Mutex.lock sh.smu;
-      Hashtbl.reset sh.c;
-      Hashtbl.reset sh.s;
-      Mutex.unlock sh.smu)
+      Mutex.protect sh.smu (fun () ->
+          Hashtbl.reset sh.c;
+          Hashtbl.reset sh.s))
     (all_shards ())
 
 let counter snap name =

@@ -21,9 +21,7 @@ let resolve_env () =
   | Some path -> Jsonl (open_out path)
 
 (* @with_lock mu *)
-let with_mu f =
-  Mutex.lock mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+let with_mu f = Mutex.protect mu f
 
 let current () =
   with_mu (fun () ->

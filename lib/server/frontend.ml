@@ -78,58 +78,73 @@ type registry = {
 }
 
 let register reg fd =
-  Mutex.lock reg.rmu;
-  reg.fds <- fd :: reg.fds;
-  Mutex.unlock reg.rmu
+  Mutex.protect reg.rmu (fun () -> reg.fds <- fd :: reg.fds)
 
 let claim reg fd =
-  Mutex.lock reg.rmu;
-  let mine = List.memq fd reg.fds in
-  if mine then reg.fds <- List.filter (fun f -> not (f == fd)) reg.fds;
-  Mutex.unlock reg.rmu;
-  mine
+  Mutex.protect reg.rmu (fun () ->
+      let mine = List.memq fd reg.fds in
+      if mine then reg.fds <- List.filter (fun f -> not (f == fd)) reg.fds;
+      mine)
 
 let claim_all reg =
-  Mutex.lock reg.rmu;
-  let fds = reg.fds in
-  reg.fds <- [];
-  Mutex.unlock reg.rmu;
-  fds
+  Mutex.protect reg.rmu (fun () ->
+      let fds = reg.fds in
+      reg.fds <- [];
+      fds)
 
 let handle_connection service ~stop ~reg fd =
-  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
-  Metrics.incr "serve.connections";
-  let rec loop () =
-    match input_line ic with
-    | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
-    | line ->
-      let continue =
-        try
-          let c = handle_line service ~stop oc line in
-          flush oc;
-          c
-        with Sys_error _ | Unix.Unix_error _ -> false
+  (* Whatever kills this handler — clean EOF, a broken pipe, or a handler
+     exception — the connection fd must be handed back exactly once. *)
+  Fun.protect
+    ~finally:(fun () ->
+      if claim reg fd then (try Unix.close fd with Unix.Unix_error _ -> ()))
+    (fun () ->
+      let ic = Unix.in_channel_of_descr fd
+      and oc = Unix.out_channel_of_descr fd in
+      Metrics.incr "serve.connections";
+      let rec loop () =
+        match input_line ic with
+        | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
+        | line ->
+          let continue =
+            match handle_line service ~stop oc line with
+            | c -> (
+              try
+                flush oc;
+                c
+              with Sys_error _ | Unix.Unix_error _ -> false)
+            | exception (Sys_error _ | Unix.Unix_error _) -> false
+            | exception e ->
+              (* A handler error (service already shut down, malformed
+                 internal state, ...) must not kill the thread silently:
+                 answer on the wire if we still can, then drop just this
+                 connection. *)
+              Metrics.incr "serve.handler_errors";
+              (try
+                 Printf.fprintf oc "ERR internal %s\n"
+                   (one_line (Printexc.to_string e));
+                 flush oc
+               with Sys_error _ | Unix.Unix_error _ -> ());
+              false
+          in
+          if continue then loop ()
       in
-      if continue then loop ()
-  in
-  loop ();
-  if claim reg fd then (try Unix.close fd with Unix.Unix_error _ -> ())
+      loop ())
 
 let serve ?(host = "127.0.0.1") ~port service =
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
   let listener = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt listener Unix.SO_REUSEADDR true;
-  Unix.bind listener addr;
-  Unix.listen listener 16;
   let reg = { rmu = Mutex.create (); fds = [] } in
   let stop_mu = Mutex.create () in
   (* @guarded_by stop_mu *)
   let stopping = ref false in
   let stop () =
-    Mutex.lock stop_mu;
-    let first = not !stopping in
-    stopping := true;
-    Mutex.unlock stop_mu;
+    let first =
+      Mutex.protect stop_mu (fun () ->
+          let f = not !stopping in
+          stopping := true;
+          f)
+    in
     if first then begin
       (* [shutdown] on the listener wakes a thread blocked in accept(2)
          (plain [close] does not) — the accept loop's clean exit path —
@@ -159,16 +174,22 @@ let serve ?(host = "127.0.0.1") ~port service =
       let th =
         Thread.create (fun () -> handle_connection service ~stop ~reg fd) ()
       in
-      Mutex.lock threads_mu;
-      threads := th :: !threads;
-      Mutex.unlock threads_mu;
+      Mutex.protect threads_mu (fun () -> threads := th :: !threads);
       accept_loop ()
   in
-  Fun.protect ~finally:stop (fun () -> accept_loop ());
-  Mutex.lock threads_mu;
-  let to_join = !threads in
-  threads := [];
-  Mutex.unlock threads_mu;
+  (* bind/listen run inside the protect: an EADDRINUSE here must close the
+     listener (via [stop]) instead of leaking it to the caller's retry loop *)
+  Fun.protect ~finally:stop (fun () ->
+      Unix.setsockopt listener Unix.SO_REUSEADDR true;
+      Unix.bind listener addr;
+      Unix.listen listener 16;
+      accept_loop ());
+  let to_join =
+    Mutex.protect threads_mu (fun () ->
+        let ts = !threads in
+        threads := [];
+        ts)
+  in
   List.iter Thread.join to_join
 
 let port_of_env ?(default = 7878) var =

@@ -43,9 +43,7 @@ let create ~capacity =
 (* @lock_order plan_cache.mu < metrics.smu *)
 
 (* @with_lock mu *)
-let locked t f =
-  Mutex.lock t.mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) (fun () -> f ())
+let locked t f = Mutex.protect t.mu f
 
 let capacity t = t.capacity
 

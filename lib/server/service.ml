@@ -78,6 +78,10 @@ let service_ids = Atomic.make 0
 
 let create ?(config = default_config) parent =
   if config.jobs < 1 then invalid_arg "Service.create: jobs must be >= 1";
+  (* the cache constructor validates its capacity and can raise: run it
+     before [Pool.create] spawns worker domains, which a raise between
+     spawn and return would strand with no pool handle to shut down *)
+  let cache = Plan_cache.create ~capacity:config.cache_capacity in
   {
     id = Atomic.fetch_and_add service_ids 1;
     config;
@@ -87,7 +91,7 @@ let create ?(config = default_config) parent =
     closed = false;
     pool = Pool.create config.jobs;
     serial_mu = Mutex.create ();
-    cache = Plan_cache.create ~capacity:config.cache_capacity;
+    cache;
     next_request = Atomic.make 0;
   }
 
@@ -95,11 +99,7 @@ let cache t = t.cache
 let jobs t = t.config.jobs
 let config t = t.config
 
-let generation t =
-  Mutex.lock t.state_mu;
-  let g = t.generation in
-  Mutex.unlock t.state_mu;
-  g
+let generation t = Mutex.protect t.state_mu (fun () -> t.generation)
 
 (* ---- per-domain session clones ----
 
@@ -119,21 +119,17 @@ let clone_slot : slot option ref Domain.DLS.key =
 
 let local_session t =
   let slot = Domain.DLS.get clone_slot in
-  Mutex.lock t.state_mu;
-  let gen = t.generation in
-  match !slot with
-  | Some s when s.slot_service = t.id && s.slot_generation = gen ->
-    Mutex.unlock t.state_mu;
-    s.slot_session
-  | _ ->
-    let sess =
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock t.state_mu)
-        (fun () -> Session.with_stats_of t.parent)
-    in
-    slot :=
-      Some { slot_service = t.id; slot_generation = gen; slot_session = sess };
-    sess
+  Mutex.protect t.state_mu (fun () ->
+      let gen = t.generation in
+      match !slot with
+      | Some s when s.slot_service = t.id && s.slot_generation = gen ->
+        s.slot_session
+      | _ ->
+        let sess = Session.with_stats_of t.parent in
+        slot :=
+          Some
+            { slot_service = t.id; slot_generation = gen; slot_session = sess };
+        sess)
 
 (* ---- the request pipeline ---- *)
 
@@ -421,19 +417,14 @@ let handle t ?deadline_ms source =
     Error (Printexc.to_string e)
 
 let submit_source t ?deadline_ms source =
-  Mutex.lock t.state_mu;
-  let closed = t.closed in
-  Mutex.unlock t.state_mu;
+  let closed = Mutex.protect t.state_mu (fun () -> t.closed) in
   if closed then invalid_arg "Service.submit: service is shut down";
-  if Pool.jobs t.pool = 1 then begin
+  if Pool.jobs t.pool = 1 then
     (* A 1-job pool runs the task inline on the submitting thread; several
        socket threads can submit concurrently, so serialize them — worker
        domains provide the real parallelism when [jobs > 1]. *)
-    Mutex.lock t.serial_mu;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.serial_mu)
-      (fun () -> Pool.submit t.pool (fun () -> handle t ?deadline_ms source))
-  end
+    Mutex.protect t.serial_mu (fun () ->
+        Pool.submit t.pool (fun () -> handle t ?deadline_ms source))
   else Pool.submit t.pool (fun () -> handle t ?deadline_ms source)
 
 let submit t ?deadline_ms sql = submit_source t ?deadline_ms (`Sql sql)
@@ -479,24 +470,16 @@ let resources_json t =
 (* ---- statistics movement ---- *)
 
 let refresh_stats t ?buckets ?mcv_slots () =
-  Mutex.lock t.state_mu;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.state_mu)
-    (fun () ->
+  Mutex.protect t.state_mu (fun () ->
       Session.analyze ?buckets ?mcv_slots t.parent;
       t.generation <- t.generation + 1;
       Metrics.incr "serve.stats_refreshes")
 
 let touch_table t name =
-  Mutex.lock t.state_mu;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.state_mu)
-    (fun () ->
+  Mutex.protect t.state_mu (fun () ->
       Catalog.touch (Session.catalog t.parent) name;
       t.generation <- t.generation + 1)
 
 let shutdown t =
-  Mutex.lock t.state_mu;
-  t.closed <- true;
-  Mutex.unlock t.state_mu;
+  Mutex.protect t.state_mu (fun () -> t.closed <- true);
   Pool.shutdown t.pool

@@ -11,6 +11,9 @@ type directive =
   | With_lock of string
   | Race_ok of string
   | Lock_order of string * string
+  | Releases of string
+  | Cleanup_ok of string
+  | Swallow_ok of string
 
 type t = { line : int; directive : directive }
 
@@ -115,7 +118,7 @@ let is_name s =
 
 let known =
   [ "@guarded_by"; "@confined"; "@requires"; "@acquires"; "@with_lock";
-    "@race_ok"; "@lock_order" ]
+    "@race_ok"; "@lock_order"; "@releases"; "@cleanup_ok"; "@swallow_ok" ]
 
 let is_directive_tok t = String.length t > 1 && t.[0] = '@'
 
@@ -147,8 +150,11 @@ let parse_line line toks =
     | "@requires" :: rest -> one (fun l -> Requires l) "@requires" rest
     | "@acquires" :: rest -> one (fun l -> Acquires l) "@acquires" rest
     | "@with_lock" :: rest -> one (fun l -> With_lock l) "@with_lock" rest
+    | "@releases" :: rest -> one (fun l -> Releases l) "@releases" rest
     | "@confined" :: rest -> reasoned (fun r -> Confined r) "@confined" rest
     | "@race_ok" :: rest -> reasoned (fun r -> Race_ok r) "@race_ok" rest
+    | "@cleanup_ok" :: rest -> reasoned (fun r -> Cleanup_ok r) "@cleanup_ok" rest
+    | "@swallow_ok" :: rest -> reasoned (fun r -> Swallow_ok r) "@swallow_ok" rest
     | "@lock_order" :: first :: (("<" :: _) as rest) when is_name first ->
       go (chain_of first rest)
     | "@lock_order" :: rest ->

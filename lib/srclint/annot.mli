@@ -21,6 +21,20 @@
     - [(* @lock_order <a> < <b> *)] — [<a>] must be acquired before [<b>];
       chains [a < b < c] are allowed.
 
+    Exception-flow directives (consumed by {!Exnflow}):
+
+    - [(* @releases <name> *)] — this function releases the resource bound
+      to [<name>] in its caller (an fd/channel ident, or a lock name) on
+      every exit path, including raising ones; callers may treat a call as
+      a release point.
+    - [(* @cleanup_ok <reason> *)] — the resource acquired on this line (or
+      the next) is cleaned up by a mechanism the walker cannot see; reason
+      is mandatory.
+    - [(* @swallow_ok <reason> *)] — the catch-all handler or spawn head on
+      this line (or the next) intentionally swallows/defers exceptions;
+      reason is mandatory. Does NOT bless control-exception handlers —
+      those are registry-pinned only.
+
     Lock names are short ([mu]) for locks of the same file, or qualified
     with the defining file's basename ([pool.mu]) across files. *)
 
@@ -32,6 +46,9 @@ type directive =
   | With_lock of string
   | Race_ok of string
   | Lock_order of string * string
+  | Releases of string
+  | Cleanup_ok of string
+  | Swallow_ok of string
 
 type t = { line : int; directive : directive }
 

@@ -19,4 +19,8 @@ type located = {
 type result = { items : located list; edges : edge list }
 (** [edges] is the deduplicated acquisition-order graph (first site wins). *)
 
+val diverges : Ppxlib.expression -> bool
+(** Does this expression always raise/fail (so its branch never merges)?
+    Shared with {!Exnflow}'s branch-merge logic. *)
+
 val check : Model.file list -> result

@@ -24,6 +24,7 @@ type fannot = {
   mutable frequires : string list;
   mutable facquires : string list;
   mutable fwith_lock : string list;
+  mutable freleases : string list;
 }
 
 type issue = { iline : int; itext : string; isev : [ `Error | `Warning ] }
@@ -36,6 +37,8 @@ type file = {
   states : (string, state) Hashtbl.t;
   funs : (string, fannot) Hashtbl.t;
   race_ok : (int, unit) Hashtbl.t;
+  cleanup_ok : (int, unit) Hashtbl.t;
+  swallow_ok : (int, unit) Hashtbl.t;
   orders : (string * string * int) list;
   issues : issue list;
   parse_error : string option;
@@ -122,6 +125,8 @@ let of_source ~path src =
   let states = Hashtbl.create 16 in
   let funs = Hashtbl.create 8 in
   let race_ok = Hashtbl.create 4 in
+  let cleanup_ok = Hashtbl.create 4 in
+  let swallow_ok = Hashtbl.create 4 in
   let orders = ref [] in
   let issues = ref [] in
   let issue sev line fmt =
@@ -245,7 +250,8 @@ let of_source ~path src =
       | Some fa -> Some fa
       | None ->
         let fa =
-          { floc = d.dline; frequires = []; facquires = []; fwith_lock = [] }
+          { floc = d.dline; frequires = []; facquires = []; fwith_lock = [];
+            freleases = [] }
         in
         Hashtbl.replace funs d.dname fa;
         Some fa)
@@ -268,20 +274,36 @@ let of_source ~path src =
         match fannot_of d.line "@with_lock" with
         | Some fa -> fa.fwith_lock <- q l :: fa.fwith_lock
         | None -> ())
+      | Directive.Releases l -> (
+        (* NOT qualified: releases name resources by their binding ident
+           (an fd, a channel), or a lock as [lock_name]; qualification of
+           lock ids happens in the exception-flow pass. *)
+        match fannot_of d.line "@releases" with
+        | Some fa -> fa.freleases <- l :: fa.freleases
+        | None -> ())
       | Directive.Race_ok _ -> Hashtbl.replace race_ok d.line ()
+      | Directive.Cleanup_ok _ -> Hashtbl.replace cleanup_ok d.line ()
+      | Directive.Swallow_ok _ -> Hashtbl.replace swallow_ok d.line ()
       | Directive.Lock_order (a, b) ->
         if a = b then issue `Error d.line "@lock_order %s < %s is circular" a b
         else orders := (q a, q b, d.line) :: !orders)
     dirs;
-  { path; base; structure; locks; states; funs; race_ok;
-    orders = List.rev !orders; issues = List.rev !issues; parse_error }
+  { path; base; structure; locks; states; funs; race_ok; cleanup_ok;
+    swallow_ok; orders = List.rev !orders; issues = List.rev !issues;
+    parse_error }
 
 let load path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let src = really_input_string ic n in
-  close_in ic;
-  of_source ~path src
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_source ~path (really_input_string ic n))
 
-let suppressed f line =
-  Hashtbl.mem f.race_ok line || Hashtbl.mem f.race_ok (line - 1)
+let near tbl line = Hashtbl.mem tbl line || Hashtbl.mem tbl (line - 1)
+
+let suppressed f line = near f.race_ok line
+
+let cleanup_suppressed f line = near f.cleanup_ok line
+
+let swallow_suppressed f line = near f.swallow_ok line

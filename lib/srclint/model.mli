@@ -23,6 +23,7 @@ type fannot = {
   mutable frequires : string list;  (** qualified *)
   mutable facquires : string list;  (** qualified *)
   mutable fwith_lock : string list;  (** qualified *)
+  mutable freleases : string list;  (** raw: resource idents or lock names *)
 }
 
 type issue = { iline : int; itext : string; isev : [ `Error | `Warning ] }
@@ -35,6 +36,8 @@ type file = {
   states : (string, state) Hashtbl.t;
   funs : (string, fannot) Hashtbl.t;
   race_ok : (int, unit) Hashtbl.t;  (** lines carrying @race_ok *)
+  cleanup_ok : (int, unit) Hashtbl.t;  (** lines carrying @cleanup_ok *)
+  swallow_ok : (int, unit) Hashtbl.t;  (** lines carrying @swallow_ok *)
   orders : (string * string * int) list;  (** qualified a-before-b + line *)
   issues : issue list;  (** bad/dangling annotations *)
   parse_error : string option;
@@ -51,3 +54,9 @@ val load : string -> file
 
 val suppressed : file -> int -> bool
 (** Is line [n] covered by a [@race_ok] on the same or previous line? *)
+
+val cleanup_suppressed : file -> int -> bool
+(** Is line [n] covered by a [@cleanup_ok] on the same or previous line? *)
+
+val swallow_suppressed : file -> int -> bool
+(** Is line [n] covered by a [@swallow_ok] on the same or previous line? *)

@@ -118,6 +118,109 @@ let render r =
        (List.length r.items) errs);
   Buffer.contents b
 
+(* ---- exception-flow report (reoptdb exnflow) ---- *)
+
+type exn_report = {
+  xfiles : string list;
+  xresources : int;
+  xfunctions : int;
+  xsummaries : (string * Exnflow.sinfo) list;
+  xitems : item list;
+}
+
+let analyze_exnflow_models ?handlers ?pinned (models : Model.file list) =
+  let r = Exnflow.check ?handlers ?pinned models in
+  (* parse / annotation problems surface here too: exnflow shares the
+     directive grammar with racecheck, so a bad @cleanup_ok must fail both *)
+  let hygiene =
+    List.concat_map
+      (fun (f : Model.file) ->
+        let parse =
+          match f.parse_error with
+          | Some msg ->
+            [ { file = f.path; line = 1;
+                finding =
+                  Finding.error ~code:"src-parse-error"
+                    (Printf.sprintf "could not parse: %s" msg) } ]
+          | None -> []
+        in
+        parse
+        @ List.map
+            (fun (i : Model.issue) ->
+              let mk =
+                match i.isev with
+                | `Error -> Finding.error ~code:"src-bad-annotation"
+                | `Warning -> Finding.warning ~code:"src-dangling-annotation"
+              in
+              { file = f.path; line = i.iline; finding = mk i.itext })
+            f.issues)
+      models
+  in
+  let items =
+    hygiene
+    @ List.map
+        (fun (l : Exnflow.located) ->
+          { file = l.lfile; line = l.lline; finding = l.lfinding })
+        r.items
+    |> sort_items
+  in
+  { xfiles =
+      List.sort compare (List.map (fun (f : Model.file) -> f.path) models);
+    xresources = r.resources;
+    xfunctions = List.length r.summaries;
+    xsummaries = r.summaries;
+    xitems = items }
+
+let analyze_exnflow_files ?handlers ?pinned paths =
+  analyze_exnflow_models ?handlers ?pinned
+    (List.map Model.load (List.sort compare paths))
+
+let analyze_exnflow_tree ?handlers ?pinned ~root () =
+  analyze_exnflow_files ?handlers ?pinned (ml_files_under root)
+
+let exn_errors r =
+  List.filter (fun i -> i.finding.Finding.severity = Finding.Error) r.xitems
+
+let exn_exit_code r = if exn_errors r <> [] then 1 else 0
+
+let render_exnflow r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "exnflow: %d files, %d functions summarized, %d tracked acquisitions\n"
+       (List.length r.xfiles) r.xfunctions r.xresources);
+  List.iter
+    (fun i ->
+      Buffer.add_string b
+        (Printf.sprintf "%s:%d: %s\n" i.file i.line
+           (Finding.to_string i.finding)))
+    r.xitems;
+  Buffer.add_string b
+    (Printf.sprintf "exnflow: %d findings (%d errors)\n"
+       (List.length r.xitems)
+       (List.length (exn_errors r)));
+  Buffer.contents b
+
+let exnflow_to_json r =
+  Json.Obj
+    [ ("files", Json.Int (List.length r.xfiles));
+      ("functions", Json.Int r.xfunctions);
+      ("resources", Json.Int r.xresources);
+      ( "findings",
+        Json.List
+          (List.map
+             (fun i ->
+               Json.Obj
+                 [ ("file", Json.Str i.file);
+                   ("line", Json.Int i.line);
+                   ( "severity",
+                     Json.Str
+                       (Finding.severity_name i.finding.Finding.severity) );
+                   ("code", Json.Str i.finding.Finding.code);
+                   ("message", Json.Str i.finding.Finding.message) ])
+             r.xitems) );
+      ("errors", Json.Int (List.length (exn_errors r))) ]
+
 let to_json r =
   Json.Obj
     [ ("files", Json.Int (List.length r.files));

@@ -39,3 +39,36 @@ val exit_code : report -> int
 val render : report -> string
 
 val to_json : report -> Rdb_obs.Json.t
+
+(** {1 Exception-flow report ([reoptdb exnflow])} *)
+
+type exn_report = {
+  xfiles : string list;  (** analyzed paths, sorted *)
+  xresources : int;  (** tracked acquisition sites *)
+  xfunctions : int;  (** functions with a summary *)
+  xsummaries : (string * Exnflow.sinfo) list;  (** ["base.fn"], sorted *)
+  xitems : item list;  (** findings: errors first, then file/line *)
+}
+
+val analyze_exnflow_files :
+  ?handlers:Exnflow.handler_entry list ->
+  ?pinned:string list ->
+  string list ->
+  exn_report
+(** Defaults to {!Exnflow.default_handlers} / {!Exnflow.default_pinned};
+    pass [~handlers:[] ~pinned:[]] for synthetic trees. *)
+
+val analyze_exnflow_tree :
+  ?handlers:Exnflow.handler_entry list ->
+  ?pinned:string list ->
+  root:string ->
+  unit ->
+  exn_report
+
+val exn_errors : exn_report -> item list
+
+val exn_exit_code : exn_report -> int
+
+val render_exnflow : exn_report -> string
+
+val exnflow_to_json : exn_report -> Rdb_obs.Json.t

@@ -37,10 +37,9 @@ let run_now f =
   try Value (f ()) with e -> Exn (e, Printexc.get_raw_backtrace ())
 
 let fulfil fut result =
-  Mutex.lock fut.fmu;
-  fut.state <- result;
-  Condition.broadcast fut.fcond;
-  Mutex.unlock fut.fmu
+  Mutex.protect fut.fmu (fun () ->
+      fut.state <- result;
+      Condition.broadcast fut.fcond)
 
 (* @requires mu *)
 let pop_own t w =
@@ -84,7 +83,9 @@ let worker t w =
          and their submitters (the server's connection handlers) would
          block forever. *)
       (try fulfil fut (run_now f)
-       with e -> (try fulfil fut (Exn (e, Printexc.get_raw_backtrace ())) with _ -> ()));
+       with e ->
+         (* @swallow_ok last-ditch fulfil failed; the worker must survive *)
+         (try fulfil fut (Exn (e, Printexc.get_raw_backtrace ())) with _ -> ()));
       Mutex.lock t.mu;
       loop ()
     | None ->
@@ -117,24 +118,18 @@ let create size =
 let submit t f =
   let fut = fresh_future () in
   if t.size <= 1 then begin
-    Mutex.lock t.mu;
-    let stopped = t.stop in
-    Mutex.unlock t.mu;
+    let stopped = Mutex.protect t.mu (fun () -> t.stop) in
     if stopped then invalid_arg "Pool.submit: pool is shut down";
     (* @race_ok fresh future, not yet shared with any other domain *)
     fut.state <- run_now f;
     fut
   end
   else begin
-    Mutex.lock t.mu;
-    if t.stop then begin
-      Mutex.unlock t.mu;
-      invalid_arg "Pool.submit: pool is shut down"
-    end;
-    t.deques.(t.rr) <- Task (f, fut) :: t.deques.(t.rr);
-    t.rr <- (t.rr + 1) mod t.size;
-    Condition.broadcast t.cond;
-    Mutex.unlock t.mu;
+    Mutex.protect t.mu (fun () ->
+        if t.stop then invalid_arg "Pool.submit: pool is shut down";
+        t.deques.(t.rr) <- Task (f, fut) :: t.deques.(t.rr);
+        t.rr <- (t.rr + 1) mod t.size;
+        Condition.broadcast t.cond);
     fut
   end
 
@@ -170,12 +165,15 @@ let run t thunks =
    already routed through their futures; only pool-internal failures are
    lost, and losing them beats hanging the server). *)
 let shutdown t =
-  Mutex.lock t.mu;
-  t.stop <- true;
-  Condition.broadcast t.cond;
-  let to_join = t.domains in
-  t.domains <- [];
-  Mutex.unlock t.mu;
+  let to_join =
+    Mutex.protect t.mu (fun () ->
+        t.stop <- true;
+        Condition.broadcast t.cond;
+        let ds = t.domains in
+        t.domains <- [];
+        ds)
+  in
+  (* @swallow_ok worker died of a pool-internal error; losing it beats hanging *)
   List.iter (fun d -> try Domain.join d with _ -> ()) to_join
 
 let with_pool size f =

@@ -1,0 +1,13 @@
+(* Seeded exception-flow mutants: the exnflow CLI must exit 1 here. *)
+
+let leaky_channel path =
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  line
+
+let swallow f = try f () with _ -> ()
+
+let escape () =
+  let d = Domain.spawn (fun () -> failwith "die") in
+  Domain.join d
